@@ -1,0 +1,67 @@
+// Command dt runs the Delaunay-triangulation benchmark on uniform random
+// points in the unit square, with the paper's on-demand determinism switch
+// (-sched) and the Lonestar-style online BRIO reordering.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"galois"
+	"galois/internal/apps/dt"
+	"galois/internal/geom"
+	"galois/internal/mesh"
+	"galois/internal/para"
+)
+
+func main() {
+	n := flag.Int("n", 200_000, "number of points")
+	seed := flag.Uint64("seed", 42, "input seed")
+	threads := flag.Int("threads", para.DefaultThreads(), "worker threads")
+	sched := flag.String("sched", "nondet", "galois scheduler: nondet|det")
+	variant := flag.String("variant", "galois", "variant: galois|seq|pbbs")
+	check := flag.Bool("check", false, "verify the Delaunay property (slow)")
+	flag.Parse()
+
+	fmt.Printf("generating %d points (seed %d)...\n", *n, *seed)
+	pts := geom.UniformPoints(*n, *seed)
+
+	var res *dt.Result
+	switch *variant {
+	case "seq":
+		res = dt.Seq(pts, *seed+1)
+	case "pbbs":
+		res = dt.PBBS(pts, *seed+1, *threads, 0)
+	case "galois":
+		opts := []galois.Option{galois.WithThreads(*threads)}
+		switch *sched {
+		case "det":
+			opts = append(opts, galois.WithSched(galois.Deterministic))
+		case "nondet":
+		default:
+			fmt.Fprintf(os.Stderr, "dt: unknown scheduler %q\n", *sched)
+			os.Exit(2)
+		}
+		res = dt.Galois(pts, *seed+1, opts...)
+	default:
+		fmt.Fprintf(os.Stderr, "dt: unknown variant %q\n", *variant)
+		os.Exit(2)
+	}
+
+	if *check {
+		if err := mesh.CheckConforming(res.Root); err != nil {
+			fmt.Fprintln(os.Stderr, "dt: BROKEN MESH:", err)
+			os.Exit(1)
+		}
+		if err := mesh.CheckDelaunay(res.Root); err != nil {
+			fmt.Fprintln(os.Stderr, "dt: NOT DELAUNAY:", err)
+			os.Exit(1)
+		}
+		fmt.Println("mesh verified: conforming and Delaunay")
+	}
+	fmt.Printf("inserted %d points, %d interior triangles\n",
+		res.Inserted, mesh.CountTriangles(res.Root, true))
+	fmt.Printf("fingerprint %016x\n", res.Fingerprint())
+	fmt.Println(res.Stats)
+}

@@ -1,0 +1,55 @@
+// Command mm runs the maximal-matching extension benchmark (see
+// internal/apps/mm) with the on-demand determinism switch.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"galois"
+	"galois/internal/apps/mm"
+	"galois/internal/graph"
+	"galois/internal/para"
+)
+
+func main() {
+	n := flag.Int("n", 1_000_000, "number of nodes")
+	deg := flag.Int("deg", 5, "out-degree of the random graph")
+	seed := flag.Uint64("seed", 42, "input seed")
+	threads := flag.Int("threads", para.DefaultThreads(), "worker threads")
+	sched := flag.String("sched", "nondet", "galois scheduler: nondet|det")
+	variant := flag.String("variant", "galois", "variant: galois|seq|pbbs")
+	check := flag.Bool("check", true, "verify matching validity and maximality")
+	flag.Parse()
+
+	fmt.Printf("generating %d-node %d-out graph (seed %d)...\n", *n, *deg, *seed)
+	g := graph.Symmetrize(graph.RandomKOut(*n, *deg, *seed))
+
+	var res *mm.Result
+	switch *variant {
+	case "seq":
+		res = mm.Seq(g)
+	case "pbbs":
+		res = mm.PBBS(g, *threads)
+	case "galois":
+		opts := []galois.Option{galois.WithThreads(*threads)}
+		if *sched == "det" {
+			opts = append(opts, galois.WithSched(galois.Deterministic))
+		}
+		res = mm.Galois(g, opts...)
+	default:
+		fmt.Fprintf(os.Stderr, "mm: unknown variant %q\n", *variant)
+		os.Exit(2)
+	}
+
+	if *check {
+		if err := res.Check(g); err != nil {
+			fmt.Fprintln(os.Stderr, "mm: INVALID RESULT:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("matching size %d (%d nodes)\n", res.Size(), g.N())
+	fmt.Printf("fingerprint %016x\n", res.Fingerprint())
+	fmt.Println(res.Stats)
+}

@@ -1,0 +1,60 @@
+// Command msf runs the Boruvka minimum-spanning-forest extension benchmark
+// (see internal/apps/msf) with the on-demand determinism switch and a
+// Kruskal cross-check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"galois"
+	"galois/internal/apps/msf"
+	"galois/internal/graph"
+	"galois/internal/para"
+)
+
+func main() {
+	n := flag.Int("n", 200_000, "number of nodes")
+	deg := flag.Int("deg", 4, "out-degree of the random graph")
+	seed := flag.Uint64("seed", 42, "input seed")
+	threads := flag.Int("threads", para.DefaultThreads(), "worker threads")
+	sched := flag.String("sched", "nondet", "galois scheduler: nondet|det")
+	variant := flag.String("variant", "galois", "variant: galois|seq|pbbs")
+	check := flag.Bool("check", false, "verify against Kruskal (slow)")
+	flag.Parse()
+
+	fmt.Printf("generating %d-node graph with unique weights (seed %d)...\n", *n, *seed)
+	g := graph.Symmetrize(graph.RandomKOut(*n, *deg, *seed))
+	edges := msf.RandomWeights(g, 1000, *seed+1)
+
+	var res *msf.Result
+	switch *variant {
+	case "seq":
+		res = msf.Seq(g.N(), edges)
+	case "pbbs":
+		res = msf.PBBS(g.N(), edges, *threads)
+	case "galois":
+		opts := []galois.Option{galois.WithThreads(*threads)}
+		if *sched == "det" {
+			opts = append(opts, galois.WithSched(galois.Deterministic))
+		}
+		res = msf.Galois(g.N(), edges, opts...)
+	default:
+		fmt.Fprintf(os.Stderr, "msf: unknown variant %q\n", *variant)
+		os.Exit(2)
+	}
+
+	fmt.Printf("forest: %d edges, total weight %d\n", len(res.Chosen), res.TotalWeight)
+	fmt.Printf("fingerprint %016x\n", res.Fingerprint())
+	fmt.Println(res.Stats)
+	if *check {
+		want := msf.Seq(g.N(), edges)
+		if want.TotalWeight != res.TotalWeight || want.Fingerprint() != res.Fingerprint() {
+			fmt.Fprintf(os.Stderr, "msf: MISMATCH with Kruskal (weight %d vs %d)\n",
+				want.TotalWeight, res.TotalWeight)
+			os.Exit(1)
+		}
+		fmt.Println("verified against Kruskal")
+	}
+}

@@ -1,0 +1,101 @@
+// Command repro regenerates the evaluation figures and tables of the paper
+// "Deterministic Galois: On-demand, Portable and Parameterless" (ASPLOS
+// 2014, §5) from this repository's reimplementation.
+//
+// Usage:
+//
+//	repro -fig 7                      # reproduce Figure 7 at default scale
+//	repro -fig all -scale small       # smoke-run every figure
+//	repro -fig 6 -threads 1,2,4,8     # explicit thread sweep
+//	repro -fig 7 -scale full          # the paper's input sizes (slow)
+//
+// Absolute numbers differ from the paper (different hardware and runtime);
+// each figure prints the shape claims it is expected to reproduce.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"galois/internal/harness"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to reproduce: 4..12, 'all', 'window' (adaptive-window trace), or 'ext' (extensions)")
+	scale := flag.String("scale", "default", "input scale: small|default|full")
+	threadsFlag := flag.String("threads", "", "comma-separated thread counts (default: 1,2,4,...,GOMAXPROCS)")
+	flag.Parse()
+
+	if *fig == "" {
+		fmt.Fprintln(os.Stderr, "repro: -fig is required (4..12 or 'all')")
+		flag.Usage()
+		os.Exit(2)
+	}
+	sc, err := harness.ScaleByName(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(2)
+	}
+	var threads []int
+	if *threadsFlag != "" {
+		for _, part := range strings.Split(*threadsFlag, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || v < 1 {
+				fmt.Fprintf(os.Stderr, "repro: bad thread count %q\n", part)
+				os.Exit(2)
+			}
+			threads = append(threads, v)
+		}
+	}
+
+	if *fig == "ext" {
+		in := harness.MakeInputs(sc)
+		t := 1
+		if len(threads) > 0 {
+			t = threads[len(threads)-1]
+		}
+		if err := harness.Extensions(in, t, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *fig == "window" {
+		in := harness.MakeInputs(sc)
+		t := 1
+		if len(threads) > 0 {
+			t = threads[len(threads)-1]
+		}
+		if err := harness.WindowTrace(in, t, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	var figs []int
+	if *fig == "all" {
+		for f := 4; f <= 12; f++ {
+			figs = append(figs, f)
+		}
+	} else {
+		f, err := strconv.Atoi(*fig)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: bad figure %q\n", *fig)
+			os.Exit(2)
+		}
+		figs = []int{f}
+	}
+
+	fmt.Printf("generating inputs (scale=%s)...\n", sc.Name)
+	in := harness.MakeInputs(sc)
+	for _, f := range figs {
+		fmt.Println()
+		if err := harness.Figure(f, in, threads, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+	}
+}

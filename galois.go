@@ -1,0 +1,166 @@
+// Package galois is a Go implementation of the Galois programming model for
+// unordered algorithms with on-demand deterministic execution, reproducing
+// "Deterministic Galois: On-demand, Portable and Parameterless"
+// (Nguyen, Lenharth, Pingali — ASPLOS 2014).
+//
+// # Programming model
+//
+// A program is a pool of tasks executed by ForEach. Tasks may read and
+// write shared state and may create new tasks, but they must be cautious:
+// all shared reads happen first, through Ctx.Acquire on the abstract
+// location (Lockable) guarding the data, and all shared writes are deferred
+// into a single Ctx.OnCommit closure — the task's failsafe point.
+//
+//	stats := galois.ForEach(nodes, func(ctx *galois.Ctx[*Node], n *Node) {
+//		ctx.Acquire(&n.Lockable)          // neighborhood
+//		for _, m := range n.Neighbors {
+//			ctx.Acquire(&m.Lockable)
+//		}
+//		v := compute(n)
+//		ctx.OnCommit(func(c *galois.Ctx[*Node]) {
+//			n.Value = v                    // write phase
+//			c.Push(next(n))                // S(t): new tasks
+//		})
+//	}, galois.WithSched(galois.Deterministic))
+//
+// # On-demand determinism
+//
+// The same body runs under two schedulers, selected by WithSched:
+//
+//   - NonDeterministic: the speculative scheduler of the paper's §2.1 —
+//     locations are locked as they are acquired and conflicting tasks
+//     abort and retry. Fast, but the set of serializations (and therefore
+//     the output of algorithms with many legal outputs) varies run to run.
+//   - Deterministic: DIG scheduling (§3) — tasks execute in rounds; each
+//     round inspects a window of tasks, implicitly builds the interference
+//     graph with priority marks, selects a deterministic independent set,
+//     and commits it. The schedule, and hence the output, is a pure
+//     function of the input: independent of thread count, machine and
+//     timing (portable), with an adaptive window that needs no per-machine
+//     tuning (parameterless).
+package galois
+
+import (
+	"galois/internal/cachesim"
+	"galois/internal/core"
+	"galois/internal/marks"
+	"galois/internal/stats"
+)
+
+// Sched selects the scheduler for ForEach.
+type Sched = core.Sched
+
+// Scheduler values.
+const (
+	// NonDeterministic is the speculative scheduler (paper §2.1).
+	NonDeterministic = core.NonDeterministic
+	// Deterministic is the DIG scheduler (paper §3).
+	Deterministic = core.Deterministic
+)
+
+// Ctx is the per-task execution context. See the core package for the
+// method set: Acquire, OnCommit, Push, PushWithID, TID, Threads.
+type Ctx[T any] = core.Ctx[T]
+
+// Lockable is the mark word embedded in every abstract location that tasks
+// may conflict on. The zero value is ready to use.
+type Lockable = marks.Lockable
+
+// Stats summarizes one ForEach run: commits, aborts, rounds, atomic
+// updates, elapsed time.
+type Stats = stats.Stats
+
+// Tracer records abstract-location accesses for locality analysis
+// (paper §5.4). Create with NewTracer and attach with WithProfile.
+type Tracer = cachesim.Tracer
+
+// NewTracer returns a locality tracer for nthreads workers. The thread
+// count must match the WithThreads value of the run it profiles.
+func NewTracer(nthreads int) *Tracer { return cachesim.NewTracer(nthreads) }
+
+// Option configures ForEach.
+type Option func(*core.Options)
+
+// WithSched selects the scheduler. The default is NonDeterministic.
+func WithSched(s Sched) Option { return func(o *core.Options) { o.Sched = s } }
+
+// WithThreads sets the number of worker goroutines. Values below 1 select
+// GOMAXPROCS. Under the Deterministic scheduler the output is identical for
+// every thread count — the paper's portability property.
+func WithThreads(n int) Option { return func(o *core.Options) { o.Threads = n } }
+
+// WithoutContinuation disables the continuation optimization of §3.3: the
+// deterministic scheduler then re-executes each selected task from scratch
+// in its commit phase (the baseline of §3.2). Output is unaffected; this
+// exists for the Figure 10 ablation.
+func WithoutContinuation() Option { return func(o *core.Options) { o.Continuation = false } }
+
+// WithLocalityInterleave enables or disables the locality-aware round
+// placement of §3.3 (default on).
+func WithLocalityInterleave(on bool) Option {
+	return func(o *core.Options) { o.LocalityInterleave = on }
+}
+
+// WithPreassignedIDs declares that every task created via PushWithID
+// carries an explicit deterministic priority, skipping the (parent, k)
+// sort of §3.2 — the third optimization of §3.3.
+func WithPreassignedIDs() Option { return func(o *core.Options) { o.PreassignedIDs = true } }
+
+// WithWindow overrides the adaptive window policy's constants: the initial
+// window (0 = default n/64), the floor, and the commit-ratio target. These
+// affect performance only; for any fixed values the deterministic schedule
+// remains thread- and machine-independent.
+func WithWindow(initial, floor int, target float64) Option {
+	return func(o *core.Options) {
+		o.WindowInit = initial
+		if floor > 0 {
+			o.WindowMin = floor
+		}
+		if target > 0 {
+			o.WindowTarget = target
+		}
+	}
+}
+
+// WithFIFO selects an approximately-FIFO worklist for the non-deterministic
+// scheduler (default: chunked LIFO with stealing). A scheduling hint in the
+// Galois sense — it changes performance, not correctness — that
+// level-structured algorithms such as BFS need to avoid pathological
+// traversal orders. Ignored by the deterministic scheduler.
+func WithFIFO() Option { return func(o *core.Options) { o.FIFO = true } }
+
+// WithPriority selects an ordered-by-integer-metric (OBIM) worklist for the
+// non-deterministic scheduler: lower fn values drain first, best-effort,
+// clamped into [0, levels) buckets (levels <= 0 means 64). The classic
+// Galois scheduling hint for data-driven algorithms (bfs by distance,
+// preflow-push by height): it changes performance, never correctness, and
+// the deterministic scheduler ignores it. fn must take the loop's item
+// type; a mismatch panics when the loop starts.
+func WithPriority[T any](fn func(T) int, levels int) Option {
+	return func(o *core.Options) {
+		o.Priority = fn
+		o.PriorityLevels = levels
+	}
+}
+
+// WithTrace records per-round (window, committed) samples in Stats.Trace.
+func WithTrace() Option { return func(o *core.Options) { o.Trace = true } }
+
+// WithProfile attaches a locality tracer that records every Acquire for the
+// reuse-distance analysis of §5.4.
+func WithProfile(t *Tracer) Option { return func(o *core.Options) { o.Profile = t } }
+
+// ForEach executes the task pool `items` with body under the configured
+// scheduler and returns run statistics. It corresponds to the foreach
+// iterator of the paper's Figure 1a.
+//
+// The body must follow the cautious-task protocol documented on Ctx:
+// Acquire every location it reads, defer every shared write into OnCommit,
+// and create tasks only through Push/PushWithID.
+func ForEach[T any](items []T, body func(*Ctx[T], T), opts ...Option) Stats {
+	opt := core.Defaults()
+	for _, o := range opts {
+		o(&opt)
+	}
+	return core.ForEach(items, body, opt)
+}

@@ -1,0 +1,3 @@
+module galois
+
+go 1.24

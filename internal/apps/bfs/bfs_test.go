@@ -1,0 +1,190 @@
+package bfs
+
+import (
+	"testing"
+
+	"galois"
+	"galois/internal/coredet"
+	"galois/internal/graph"
+)
+
+func testGraph() *graph.CSR {
+	return graph.Symmetrize(graph.RandomKOut(5000, 5, 42))
+}
+
+func TestSeqOnChain(t *testing.T) {
+	g := graph.Chain(10)
+	r := Seq(g, 0)
+	for i, d := range r.Dist {
+		if d != uint32(i) {
+			t.Fatalf("dist[%d] = %d", i, d)
+		}
+	}
+}
+
+func TestSeqUnreachable(t *testing.T) {
+	// Two disconnected chains.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 2)
+	r := Seq(b.Build(), 0)
+	if r.Dist[2] != Inf || r.Dist[3] != Inf {
+		t.Fatal("disconnected nodes should be Inf")
+	}
+	if r.Dist[1] != 1 {
+		t.Fatalf("dist[1] = %d", r.Dist[1])
+	}
+}
+
+func TestPBBSMatchesSeqDistances(t *testing.T) {
+	g := testGraph()
+	want := Seq(g, 0)
+	for _, threads := range []int{1, 2, 8} {
+		got := PBBS(g, 0, threads)
+		for v := range want.Dist {
+			if got.Dist[v] != want.Dist[v] {
+				t.Fatalf("threads=%d: dist[%d] = %d, want %d", threads, v, got.Dist[v], want.Dist[v])
+			}
+		}
+	}
+}
+
+func TestPBBSDeterministicTree(t *testing.T) {
+	// The parent tree — not just distances — must be identical across
+	// thread counts: that is the "determinism by construction" claim.
+	g := testGraph()
+	ref := PBBS(g, 0, 1).Fingerprint()
+	for _, threads := range []int{2, 4, 8} {
+		if got := PBBS(g, 0, threads).Fingerprint(); got != ref {
+			t.Fatalf("threads=%d: fingerprint %x != %x", threads, got, ref)
+		}
+	}
+}
+
+func TestPBBSParentsValid(t *testing.T) {
+	g := testGraph()
+	r := PBBS(g, 0, 4)
+	for v := range r.Parent {
+		if r.Dist[v] == Inf {
+			if r.Parent[v] != Inf {
+				t.Fatalf("unreached node %d has parent", v)
+			}
+			continue
+		}
+		if v == 0 {
+			continue
+		}
+		p := r.Parent[v]
+		if r.Dist[p]+1 != r.Dist[v] {
+			t.Fatalf("parent edge (%d->%d) not a tree edge: %d vs %d", p, v, r.Dist[p], r.Dist[v])
+		}
+	}
+}
+
+func TestGaloisNondetMatchesSeq(t *testing.T) {
+	g := testGraph()
+	want := Seq(g, 0)
+	for _, threads := range []int{1, 4, 8} {
+		got := Galois(g, 0, galois.WithThreads(threads))
+		for v := range want.Dist {
+			if got.Dist[v] != want.Dist[v] {
+				t.Fatalf("threads=%d: dist[%d] = %d, want %d", threads, v, got.Dist[v], want.Dist[v])
+			}
+		}
+	}
+}
+
+func TestGaloisDetMatchesSeq(t *testing.T) {
+	g := testGraph()
+	want := Seq(g, 0)
+	for _, threads := range []int{1, 4} {
+		got := Galois(g, 0, galois.WithThreads(threads), galois.WithSched(galois.Deterministic))
+		for v := range want.Dist {
+			if got.Dist[v] != want.Dist[v] {
+				t.Fatalf("threads=%d: dist[%d] = %d, want %d", threads, v, got.Dist[v], want.Dist[v])
+			}
+		}
+	}
+}
+
+func TestGaloisDetPortableStats(t *testing.T) {
+	// Distances are confluent, so for DIG the schedule itself — observable
+	// through the exact commit count — must be thread-independent.
+	g := graph.Symmetrize(graph.RandomKOut(2000, 5, 1))
+	ref := Galois(g, 0, galois.WithThreads(1), galois.WithSched(galois.Deterministic))
+	for _, threads := range []int{2, 8} {
+		got := Galois(g, 0, galois.WithThreads(threads), galois.WithSched(galois.Deterministic))
+		if got.Stats.Commits != ref.Stats.Commits {
+			t.Fatalf("threads=%d: commits %d != %d (schedule not deterministic)",
+				threads, got.Stats.Commits, ref.Stats.Commits)
+		}
+		if got.Stats.Rounds != ref.Stats.Rounds {
+			t.Fatalf("threads=%d: rounds %d != %d", threads, got.Stats.Rounds, ref.Stats.Rounds)
+		}
+	}
+}
+
+func TestGaloisBaselineSchedulerMatches(t *testing.T) {
+	g := graph.Symmetrize(graph.RandomKOut(2000, 5, 2))
+	want := Seq(g, 0)
+	got := Galois(g, 0, galois.WithThreads(4),
+		galois.WithSched(galois.Deterministic), galois.WithoutContinuation())
+	for v := range want.Dist {
+		if got.Dist[v] != want.Dist[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, got.Dist[v], want.Dist[v])
+		}
+	}
+}
+
+func TestFingerprintSensitive(t *testing.T) {
+	g := testGraph()
+	a := Seq(g, 0)
+	b := Seq(g, 1)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("different sources produced identical fingerprints")
+	}
+}
+
+func TestGaloisOnGrid(t *testing.T) {
+	g := graph.Grid2D(30)
+	want := Seq(g, 0)
+	got := Galois(g, 0, galois.WithThreads(4), galois.WithSched(galois.Deterministic))
+	for v := range want.Dist {
+		if got.Dist[v] != want.Dist[v] {
+			t.Fatalf("dist[%d] = %d, want %d", v, got.Dist[v], want.Dist[v])
+		}
+	}
+}
+
+func TestPThreadMatchesSeq(t *testing.T) {
+	g := graph.Symmetrize(graph.RandomKOut(2000, 5, 4))
+	want := Seq(g, 0)
+	for _, enabled := range []bool{false, true} {
+		for _, threads := range []int{1, 4} {
+			rt := coredet.New(enabled, 2000)
+			got := PThread(g, 0, threads, rt)
+			for v := range want.Dist {
+				if got.Dist[v] != want.Dist[v] {
+					t.Fatalf("enabled=%v threads=%d: dist[%d] = %d, want %d",
+						enabled, threads, v, got.Dist[v], want.Dist[v])
+				}
+			}
+			if enabled && rt.SyncOps() == 0 {
+				t.Fatal("pthread bfs performed no sync ops under coredet")
+			}
+		}
+	}
+}
+
+func TestPThreadSyncHeavy(t *testing.T) {
+	// The paper's Figure 6 premise: pthread bfs does at least one sync
+	// op per edge.
+	g := graph.Symmetrize(graph.RandomKOut(1000, 5, 5))
+	rt := coredet.New(true, 2000)
+	PThread(g, 0, 4, rt)
+	if rt.SyncOps() < uint64(g.M()) {
+		t.Fatalf("sync ops %d < edges %d", rt.SyncOps(), g.M())
+	}
+}

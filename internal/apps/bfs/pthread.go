@@ -1,0 +1,73 @@
+package bfs
+
+import (
+	"galois/internal/coredet"
+	"galois/internal/graph"
+)
+
+// PThread is the "modified PBBS" non-deterministic pthread-style BFS the
+// paper runs under CoreDet (§5.2): level-synchronous, with threads claiming
+// frontier chunks from a shared cursor, racing to claim undiscovered
+// neighbors with compare-and-swap, appending discoveries to a shared next
+// frontier through an atomic tail, and a barrier per level. Every edge
+// costs an atomic operation — the fine-grain synchronization profile that
+// makes CoreDet-class schedulers collapse in Figure 6.
+func PThread(g *graph.CSR, src, nthreads int, rt *coredet.Runtime) *Result {
+	n := g.N()
+	dist := make([]int64, n)
+	for i := range dist {
+		dist[i] = int64(Inf)
+	}
+	frontier := make([]int64, 0, n)
+	next := make([]int64, n)
+	var nextTail int64
+	var cursor int64
+	barrier := coredet.NewBarrier(nthreads)
+
+	dist[src] = 0
+	frontier = append(frontier, int64(src))
+	level := int64(0)
+
+	rt.Run(nthreads, func(t *coredet.Thread) {
+		for {
+			// Claim frontier chunks.
+			const chunk = 16
+			for {
+				start := t.AtomicAdd(&cursor, chunk) - chunk
+				if start >= int64(len(frontier)) {
+					break
+				}
+				end := min(start+chunk, int64(len(frontier)))
+				for _, u := range frontier[start:end] {
+					for _, v := range g.Neighbors(int(u)) {
+						t.Work(4)
+						if t.AtomicCAS(&dist[v], int64(Inf), level+1) {
+							slot := t.AtomicAdd(&nextTail, 1) - 1
+							next[slot] = int64(v)
+						}
+					}
+					t.Work(8)
+				}
+			}
+			t.BarrierWait(barrier)
+			// Thread 0 swaps frontiers.
+			if t.ID() == 0 {
+				frontier = append(frontier[:0], next[:nextTail]...)
+				nextTail = 0
+				cursor = 0
+				level++
+				t.Work(int64(len(frontier)))
+			}
+			t.BarrierWait(barrier)
+			if len(frontier) == 0 {
+				return
+			}
+		}
+	})
+
+	out := make([]uint32, n)
+	for i, d := range dist {
+		out[i] = uint32(d)
+	}
+	return &Result{Dist: out}
+}

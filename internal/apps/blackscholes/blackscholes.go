@@ -1,0 +1,95 @@
+// Package blackscholes implements the PARSEC blackscholes kernel (paper
+// §4.1, §5.2): closed-form Black–Scholes option pricing over a synthetic
+// portfolio. It is the paper's representative coarse-grain, low-
+// synchronization workload: threads price disjoint slices and synchronize
+// only at start and end, which is why CoreDet-style deterministic
+// scheduling barely hurts it (Figure 6).
+//
+// The pricing math is the real Black–Scholes formula (not a stub), so the
+// kernel's arithmetic intensity is authentic; only the input portfolio is
+// synthetic.
+package blackscholes
+
+import (
+	"math"
+
+	"galois/internal/coredet"
+	"galois/internal/rng"
+)
+
+// Option is one European option.
+type Option struct {
+	Spot     float64 // current underlying price
+	Strike   float64
+	Rate     float64 // risk-free rate
+	Vol      float64 // volatility
+	Years    float64 // time to maturity
+	IsPut    bool
+	Expected float64 // filled by pricing
+}
+
+// GenPortfolio generates n options with PARSEC-like parameter ranges.
+func GenPortfolio(n int, seed uint64) []Option {
+	r := rng.New(seed)
+	opts := make([]Option, n)
+	for i := range opts {
+		opts[i] = Option{
+			Spot:   50 + 100*r.Float64(),
+			Strike: 50 + 100*r.Float64(),
+			Rate:   0.01 + 0.09*r.Float64(),
+			Vol:    0.05 + 0.55*r.Float64(),
+			Years:  0.1 + 2.0*r.Float64(),
+			IsPut:  r.Uint64()&1 == 1,
+		}
+	}
+	return opts
+}
+
+// cndf is the cumulative normal distribution function, computed via the
+// complementary error function.
+func cndf(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// Price returns the Black–Scholes value of o.
+func Price(o Option) float64 {
+	sqrtT := math.Sqrt(o.Years)
+	d1 := (math.Log(o.Spot/o.Strike) + (o.Rate+0.5*o.Vol*o.Vol)*o.Years) / (o.Vol * sqrtT)
+	d2 := d1 - o.Vol*sqrtT
+	discount := o.Strike * math.Exp(-o.Rate*o.Years)
+	if o.IsPut {
+		return discount*cndf(-d2) - o.Spot*cndf(-d1)
+	}
+	return o.Spot*cndf(d1) - discount*cndf(d2)
+}
+
+// workPerOption is the logical instruction cost reported per option priced
+// (exp/log/erfc-dominated, a few hundred scalar ops).
+const workPerOption = 300
+
+// Run prices the portfolio on rt with nthreads threads, mirroring PARSEC's
+// static partitioning and rounds: the PARSEC kernel reprices the portfolio
+// `rounds` times. It returns the sum of all prices (a stable checksum).
+func Run(opts []Option, rounds, nthreads int, rt *coredet.Runtime) float64 {
+	partials := make([]float64, nthreads)
+	rt.Run(nthreads, func(t *coredet.Thread) {
+		id := t.ID()
+		lo := len(opts) * id / nthreads
+		hi := len(opts) * (id + 1) / nthreads
+		var sum float64
+		for round := 0; round < rounds; round++ {
+			for i := lo; i < hi; i++ {
+				p := Price(opts[i])
+				opts[i].Expected = p
+				sum += p
+				t.Work(workPerOption)
+			}
+		}
+		partials[id] = sum
+	})
+	total := 0.0
+	for _, p := range partials {
+		total += p
+	}
+	return total
+}

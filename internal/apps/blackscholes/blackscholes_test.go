@@ -1,0 +1,80 @@
+package blackscholes
+
+import (
+	"math"
+	"testing"
+
+	"galois/internal/coredet"
+)
+
+func TestPriceKnownValue(t *testing.T) {
+	// Standard textbook case: S=100, K=100, r=5%, sigma=20%, T=1.
+	call := Option{Spot: 100, Strike: 100, Rate: 0.05, Vol: 0.2, Years: 1}
+	got := Price(call)
+	if math.Abs(got-10.4506) > 1e-3 {
+		t.Fatalf("call price = %v, want ~10.4506", got)
+	}
+	put := call
+	put.IsPut = true
+	if math.Abs(Price(put)-5.5735) > 1e-3 {
+		t.Fatalf("put price = %v, want ~5.5735", Price(put))
+	}
+}
+
+func TestPutCallParity(t *testing.T) {
+	for _, o := range GenPortfolio(200, 1) {
+		call := o
+		call.IsPut = false
+		put := o
+		put.IsPut = true
+		lhs := Price(call) - Price(put)
+		rhs := o.Spot - o.Strike*math.Exp(-o.Rate*o.Years)
+		if math.Abs(lhs-rhs) > 1e-9*(1+math.Abs(rhs)) {
+			t.Fatalf("put-call parity violated: %v vs %v for %+v", lhs, rhs, o)
+		}
+	}
+}
+
+func TestPriceBounds(t *testing.T) {
+	for _, o := range GenPortfolio(500, 2) {
+		p := Price(o)
+		if p < -1e-9 {
+			t.Fatalf("negative price %v for %+v", p, o)
+		}
+		if !o.IsPut && p > o.Spot {
+			t.Fatalf("call worth more than spot: %v > %v", p, o.Spot)
+		}
+		if o.IsPut && p > o.Strike {
+			t.Fatalf("put worth more than strike: %v > %v", p, o.Strike)
+		}
+	}
+}
+
+func TestRunMatchesSerial(t *testing.T) {
+	opts := GenPortfolio(5000, 3)
+	var want float64
+	for _, o := range opts {
+		want += Price(o)
+	}
+	for _, enabled := range []bool{false, true} {
+		for _, threads := range []int{1, 4} {
+			got := Run(GenPortfolio(5000, 3), 1, threads, coredet.New(enabled, 0))
+			if math.Abs(got-want) > 1e-6*math.Abs(want) {
+				t.Fatalf("enabled=%v threads=%d: checksum %v != %v", enabled, threads, got, want)
+			}
+		}
+	}
+}
+
+func TestCoreDetOverheadIsModest(t *testing.T) {
+	// blackscholes is the workload CoreDet handles well: sync ops should
+	// be tiny relative to work (only quantum boundaries).
+	rt := coredet.New(true, 0)
+	Run(GenPortfolio(20000, 4), 1, 4, rt)
+	if rt.SyncOps() != 0 {
+		t.Fatalf("blackscholes performed %d serialized sync ops, want 0", rt.SyncOps())
+	}
+	if rt.Quanta() == 0 {
+		t.Fatal("no quanta recorded — Work accounting broken")
+	}
+}

@@ -1,0 +1,112 @@
+// Package cavity is the repository's stand-in for the pthread (non-
+// deterministic PBBS) dmr and dt variants that the paper runs under CoreDet
+// (§5.2, Figure 6). Porting the full mesh codes onto the coredet runtime
+// would only change how locks are spelled; what determines their Figure 6
+// behaviour is the synchronization profile: each fine-grained task locks a
+// handful of mesh elements, does a few microseconds of geometry, unlocks,
+// and occasionally creates follow-up work. This package distills exactly
+// that profile into a kernel over real coredet mutexes, parameterized to
+// the task grain and cavity size measured from our real dmr/dt runs
+// (see DESIGN.md §3).
+package cavity
+
+import (
+	"galois/internal/coredet"
+	"galois/internal/rng"
+)
+
+// Config describes the kernel's profile.
+type Config struct {
+	// Elements is the size of the shared element pool (mesh size).
+	Elements int
+	// Tasks is the number of cavity operations to perform.
+	Tasks int
+	// CavitySize is the number of elements locked per task.
+	CavitySize int
+	// WorkPerTask is the logical instruction cost of one task's
+	// geometry (the 3.8 us/task of dmr corresponds to a few thousand
+	// scalar operations).
+	WorkPerTask int64
+}
+
+// DMRProfile mirrors the measured Delaunay-mesh-refinement profile.
+func DMRProfile(tasks int) Config {
+	return Config{Elements: 1 << 16, Tasks: tasks, CavitySize: 6, WorkPerTask: 4000}
+}
+
+// DTProfile mirrors the measured Delaunay-triangulation profile (slightly
+// larger cavities, cheaper per-task math).
+func DTProfile(tasks int) Config {
+	return Config{Elements: 1 << 16, Tasks: tasks, CavitySize: 8, WorkPerTask: 2500}
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Touches counts element modifications; must equal Tasks*CavitySize.
+	Touches int64
+}
+
+// Run executes the kernel on rt with nthreads threads. Tasks are claimed
+// from a shared cursor; each task locks its (deterministically chosen,
+// sorted — so no deadlock) cavity elements, mutates them, works, and
+// unlocks.
+func Run(cfg Config, nthreads int, rt *coredet.Runtime, seed uint64) Result {
+	locks := make([]coredet.Mutex, cfg.Elements)
+	counts := make([]int64, cfg.Elements)
+	var cursor int64
+	var touches int64
+
+	rt.Run(nthreads, func(t *coredet.Thread) {
+		var local int64
+		for {
+			i := t.AtomicAdd(&cursor, 1) - 1
+			if i >= int64(cfg.Tasks) {
+				break
+			}
+			// Deterministic cavity selection: distinct sorted
+			// element indices derived from the task id.
+			cav := make([]int, 0, cfg.CavitySize)
+			h := rng.Mix64(uint64(i) ^ seed)
+			for len(cav) < cfg.CavitySize {
+				e := int(h % uint64(cfg.Elements))
+				h = rng.Mix64(h)
+				dup := false
+				for _, x := range cav {
+					if x == e {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					cav = append(cav, e)
+				}
+			}
+			sortInts(cav)
+			for _, e := range cav {
+				t.Lock(&locks[e])
+			}
+			for _, e := range cav {
+				counts[e]++
+				local++
+			}
+			t.Work(cfg.WorkPerTask)
+			for k := len(cav) - 1; k >= 0; k-- {
+				t.Unlock(&locks[cav[k]])
+			}
+		}
+		t.AtomicAdd(&touches, local)
+	})
+	return Result{Touches: touches}
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		v := a[i]
+		j := i - 1
+		for j >= 0 && a[j] > v {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = v
+	}
+}

@@ -1,0 +1,41 @@
+package cavity
+
+import (
+	"testing"
+
+	"galois/internal/coredet"
+)
+
+func TestAllTouchesHappen(t *testing.T) {
+	cfg := Config{Elements: 256, Tasks: 500, CavitySize: 4, WorkPerTask: 100}
+	for _, enabled := range []bool{false, true} {
+		for _, threads := range []int{1, 4} {
+			res := Run(cfg, threads, coredet.New(enabled, 1000), 9)
+			want := int64(cfg.Tasks * cfg.CavitySize)
+			if res.Touches != want {
+				t.Fatalf("enabled=%v threads=%d: touches = %d, want %d",
+					enabled, threads, res.Touches, want)
+			}
+		}
+	}
+}
+
+func TestSyncProfileMatchesDMR(t *testing.T) {
+	cfg := DMRProfile(300)
+	rt := coredet.New(true, 5000)
+	Run(cfg, 4, rt, 1)
+	// Lock+unlock per cavity element plus a cursor claim per task.
+	minOps := uint64(cfg.Tasks * (2*cfg.CavitySize + 1))
+	if rt.SyncOps() < minOps {
+		t.Fatalf("sync ops = %d, want >= %d", rt.SyncOps(), minOps)
+	}
+}
+
+func TestDeterministicCavities(t *testing.T) {
+	cfg := Config{Elements: 128, Tasks: 200, CavitySize: 5, WorkPerTask: 50}
+	a := Run(cfg, 4, coredet.New(true, 500), 3)
+	b := Run(cfg, 4, coredet.New(true, 500), 3)
+	if a != b {
+		t.Fatal("deterministic runs differ")
+	}
+}

@@ -1,0 +1,178 @@
+// Package dt implements the paper's Delaunay triangulation benchmark
+// (§4.1): incremental Bowyer–Watson insertion with biased randomized
+// insertion order (BRIO), in four variants:
+//
+//   - Seq: sequential incremental insertion in BRIO order.
+//   - Galois (non-deterministic or DIG-scheduled): one task per point. A
+//     task finds its point's triangle through the point-location-by-
+//     association structure, builds the insertion cavity (acquiring every
+//     element it reads or rewires), and retriangulates at commit.
+//   - PBBS: handwritten determinism via deterministic reservations
+//     (internal/detres), the structure of the PBBS incremental dt code.
+//
+// The Delaunay triangulation of points in general position is unique, so
+// every variant produces the same mesh — which the tests exploit — while
+// the paper's determinism property concerns the schedule: the DIG and PBBS
+// variants execute identical rounds for every thread count.
+package dt
+
+import (
+	"sync/atomic"
+
+	"galois"
+	"galois/internal/cachesim"
+	"galois/internal/detres"
+	"galois/internal/geom"
+	"galois/internal/mesh"
+	"galois/internal/rng"
+	"galois/internal/stats"
+)
+
+// Result is the output of one triangulation run.
+type Result struct {
+	// Root is a live element of the final mesh.
+	Root *mesh.Element
+	// Inserted is the number of points actually inserted (duplicates of
+	// existing vertices are skipped).
+	Inserted int
+	// Stats describes the run.
+	Stats stats.Stats
+}
+
+// Fingerprint canonically hashes the triangulation (super triangles
+// excluded).
+func (r *Result) Fingerprint() uint64 { return mesh.Fingerprint(r.Root, true) }
+
+// Seq triangulates pts sequentially in BRIO order.
+func Seq(pts []geom.Point, seed uint64) *Result {
+	ordered := geom.BRIO(pts, seed)
+	col := stats.NewCollector(1)
+	col.Start()
+	root := mesh.NewSuperTriangle()
+	hint := root
+	inserted := 0
+	for _, p := range ordered {
+		var ok bool
+		hint, ok = mesh.InsertPointSeq(hint, p)
+		if ok {
+			inserted++
+		}
+		col.Commit(0)
+	}
+	col.Stop()
+	return &Result{Root: hint, Inserted: inserted, Stats: col.Snapshot()}
+}
+
+// assoc is the shared point-location-by-association state: pointTri[i]
+// points at (a recent ancestor of) the triangle containing point i.
+type assoc struct {
+	pts      []geom.Point
+	pointTri []atomic.Pointer[mesh.Element]
+	inserted atomic.Int64
+}
+
+func newAssoc(pts []geom.Point) (*assoc, *mesh.Element) {
+	root := mesh.NewSuperTriangle()
+	a := &assoc{pts: pts, pointTri: make([]atomic.Pointer[mesh.Element], len(pts))}
+	root.Assoc = make([]int32, len(pts))
+	for i := range pts {
+		root.Assoc[i] = int32(i)
+		a.pointTri[i].Store(root)
+	}
+	return a, root
+}
+
+// insertBody performs the read phase for point i: resolve the association
+// hint, locate, and build the cavity. It returns nil if the point is a
+// duplicate vertex.
+func (a *assoc) insertBody(i int32, acq mesh.Acquirer) *mesh.Cavity {
+	start := a.pointTri[i].Load()
+	tri, onVertex := mesh.Locate(start, a.pts[i], acq)
+	if onVertex {
+		return nil
+	}
+	return mesh.BuildInsertion(tri, a.pts[i], acq)
+}
+
+// commitCavity applies a built cavity and refreshes the association of
+// every point that lived in the killed triangles.
+func (a *assoc) commitCavity(cav *mesh.Cavity) {
+	created := cav.Retriangulate(a.pts)
+	for _, e := range created {
+		for _, idx := range e.Assoc {
+			a.pointTri[idx].Store(e)
+		}
+	}
+	a.inserted.Add(1)
+}
+
+func (a *assoc) root() *mesh.Element {
+	e := a.pointTri[0].Load()
+	for e.Dead {
+		e = e.Repl
+	}
+	return e
+}
+
+// Galois triangulates pts under the given scheduler options; the insertion
+// order (task priority under DIG) is the BRIO order derived from seed.
+func Galois(pts []geom.Point, seed uint64, opts ...galois.Option) *Result {
+	ordered := geom.BRIO(pts, seed)
+	a, _ := newAssoc(ordered)
+	items := make([]int32, len(ordered))
+	for i := range items {
+		items[i] = int32(i)
+	}
+	st := galois.ForEach(items, func(ctx *galois.Ctx[int32], i int32) {
+		cav := a.insertBody(i, func(e *mesh.Element) { ctx.Acquire(&e.Lockable) })
+		if cav == nil {
+			return // duplicate point: no-op commit
+		}
+		ctx.OnCommit(func(*galois.Ctx[int32]) { a.commitCavity(cav) })
+	}, opts...)
+	return &Result{Root: a.root(), Inserted: int(a.inserted.Load()), Stats: st}
+}
+
+// pbbsStep adapts the association-based insertion to deterministic
+// reservations.
+type pbbsStep struct {
+	a   *assoc
+	cav []*mesh.Cavity // per item, built at reserve time
+}
+
+func (s *pbbsStep) Reserve(i int, r *detres.Reserver) bool {
+	cav := s.a.insertBody(int32(i), func(e *mesh.Element) { r.Reserve(&e.Lockable) })
+	s.cav[i] = cav
+	return cav != nil
+}
+
+func (s *pbbsStep) Commit(i int) { s.a.commitCavity(s.cav[i]) }
+
+// PBBS triangulates pts with the handwritten deterministic-reservations
+// algorithm on nthreads threads. granularity is the PBBS codes' fixed round
+// size (<=0 for the default).
+func PBBS(pts []geom.Point, seed uint64, nthreads, granularity int) *Result {
+	return PBBSProfiled(pts, seed, nthreads, granularity, nil)
+}
+
+// PBBSProfiled is PBBS with an optional locality tracer (paper §5.4).
+func PBBSProfiled(pts []geom.Point, seed uint64, nthreads, granularity int, pro *cachesim.Tracer) *Result {
+	// The PBBS dt randomizes its points offline (§4.1) rather than using
+	// BRIO: under round-based reservations, spatially-sorted prefixes
+	// would conflict wholesale (the §3.3 locality observation), so the
+	// handwritten code wants a spatially *uniform* prefix.
+	ordered := append([]geom.Point(nil), pts...)
+	rng.New(seed).Shuffle(len(ordered), func(i, j int) { ordered[i], ordered[j] = ordered[j], ordered[i] })
+	a, _ := newAssoc(ordered)
+	step := &pbbsStep{a: a, cav: make([]*mesh.Cavity, len(ordered))}
+	st := detres.For(len(ordered), step, detres.Options{
+		Threads:     nthreads,
+		Granularity: granularity,
+		// Incremental insertion supports parallelism proportional to
+		// the current mesh size; PBBS's dt ramps its prefix the same
+		// way.
+		Ramp:    true,
+		Profile: pro,
+	})
+	return &Result{Root: a.root(), Inserted: int(a.inserted.Load()), Stats: st}
+}

@@ -1,0 +1,114 @@
+package freqmine
+
+import (
+	"testing"
+
+	"galois/internal/coredet"
+)
+
+func smallConfig() Config {
+	return Config{Transactions: 3000, Items: 120, MaxTxnLen: 10, MinSupport: 25}
+}
+
+// serialMine is an obviously-correct reference miner.
+func serialMine(cfg Config, txns [][]uint16) (items, pairs int) {
+	counts := make([]int, cfg.Items)
+	for _, txn := range txns {
+		for _, it := range txn {
+			counts[it]++
+		}
+	}
+	for _, c := range counts {
+		if c >= cfg.MinSupport {
+			items++
+		}
+	}
+	pairCount := map[[2]uint16]int{}
+	for _, txn := range txns {
+		for i := 0; i < len(txn); i++ {
+			for j := i + 1; j < len(txn); j++ {
+				a, b := txn[i], txn[j]
+				if counts[a] < cfg.MinSupport || counts[b] < cfg.MinSupport {
+					continue
+				}
+				if a > b {
+					a, b = b, a
+				}
+				pairCount[[2]uint16{a, b}]++
+			}
+		}
+	}
+	for _, c := range pairCount {
+		if c >= cfg.MinSupport {
+			pairs++
+		}
+	}
+	return items, pairs
+}
+
+func TestMatchesSerialReference(t *testing.T) {
+	cfg := smallConfig()
+	txns := GenTransactions(cfg, 5)
+	wantItems, wantPairs := serialMine(cfg, txns)
+	if wantPairs == 0 {
+		t.Fatal("degenerate workload: no frequent pairs")
+	}
+	for _, enabled := range []bool{false, true} {
+		for _, threads := range []int{1, 4} {
+			res := Run(cfg, txns, threads, coredet.New(enabled, 0))
+			if res.FrequentItems != wantItems || res.FrequentPairs != wantPairs {
+				t.Fatalf("enabled=%v threads=%d: got %d/%d, want %d/%d",
+					enabled, threads, res.FrequentItems, res.FrequentPairs, wantItems, wantPairs)
+			}
+		}
+	}
+}
+
+func TestChecksumStableAcrossThreads(t *testing.T) {
+	cfg := smallConfig()
+	txns := GenTransactions(cfg, 6)
+	ref := Run(cfg, txns, 1, coredet.New(false, 0)).Checksum
+	for _, threads := range []int{2, 4, 8} {
+		if got := Run(cfg, txns, threads, coredet.New(false, 0)).Checksum; got != ref {
+			t.Fatalf("threads=%d: checksum differs", threads)
+		}
+	}
+}
+
+func TestSyncProfileIsCoarse(t *testing.T) {
+	cfg := smallConfig()
+	txns := GenTransactions(cfg, 7)
+	rt := coredet.New(true, 0)
+	Run(cfg, txns, 4, rt)
+	// Sync ops: chunked cursor grabs + per-thread merges + per-item
+	// mining claims. Must be far below one per transaction.
+	if rt.SyncOps() > uint64(cfg.Transactions)/4 {
+		t.Fatalf("sync ops = %d — profile too fine-grained for freqmine", rt.SyncOps())
+	}
+	if rt.SyncOps() == 0 {
+		t.Fatal("no sync ops recorded")
+	}
+}
+
+func TestGenTransactionsShape(t *testing.T) {
+	cfg := smallConfig()
+	txns := GenTransactions(cfg, 8)
+	if len(txns) != cfg.Transactions {
+		t.Fatalf("got %d transactions", len(txns))
+	}
+	for _, txn := range txns {
+		if len(txn) < 2 || len(txn) > cfg.MaxTxnLen+1 {
+			t.Fatalf("transaction length %d out of range", len(txn))
+		}
+		seen := map[uint16]bool{}
+		for _, it := range txn {
+			if int(it) >= cfg.Items {
+				t.Fatalf("item %d out of range", it)
+			}
+			if seen[it] {
+				t.Fatal("duplicate item in transaction")
+			}
+			seen[it] = true
+		}
+	}
+}

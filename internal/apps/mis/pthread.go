@@ -1,0 +1,102 @@
+package mis
+
+import (
+	"sync/atomic"
+
+	"galois/internal/coredet"
+	"galois/internal/graph"
+)
+
+// PThread is the pthread-style data-parallel prefix MIS the paper runs
+// under CoreDet (§5.2): rounds over prefixes of the id order; threads claim
+// work chunks from a shared cursor (a serialized RMW under CoreDet) but
+// publish node states with plain monotone stores — which CoreDet-class
+// systems handle in the parallel phase through store buffers, not the
+// serial token. That distinction is why this data-parallel code is the one
+// irregular benchmark that survives CoreDet in Figure 6, while the
+// CAS-per-edge bfs collapses.
+//
+// The stores use sync/atomic only to keep the Go race detector satisfied;
+// they deliberately do not pass through the coredet serial phase.
+func PThread(g *graph.CSR, nthreads int, rt *coredet.Runtime) *Result {
+	n := g.N()
+	state := make([]int64, n) // 0 unknown, 1 in, 2 out
+	prefix := n / 50
+	if prefix < 256 {
+		prefix = 256
+	}
+	var cursor int64
+	barrier := coredet.NewBarrier(nthreads)
+	base := 0
+	done := false
+	progress := make([]int64, nthreads*8) // padded per-thread undecided counts
+
+	rt.Run(nthreads, func(t *coredet.Thread) {
+		id := t.ID()
+		for base < n {
+			p := min(prefix, n-base)
+			// Sweep the prefix to a fixed point.
+			for {
+				undecided := int64(0)
+				const chunk = 64
+				for {
+					start := t.AtomicAdd(&cursor, chunk) - chunk
+					if start >= int64(p) {
+						break
+					}
+					end := min(start+chunk, int64(p))
+					for i := start; i < end; i++ {
+						u := base + int(i)
+						if atomic.LoadInt64(&state[u]) != 0 {
+							continue
+						}
+						decided := int64(1) // tentatively In
+						for _, v := range g.Neighbors(u) {
+							if int(v) >= u {
+								continue
+							}
+							switch atomic.LoadInt64(&state[int(v)]) {
+							case 1:
+								decided = 2
+							case 0:
+								decided = 0
+							}
+							if decided != 1 {
+								break
+							}
+						}
+						t.Work(int64(4*g.Degree(u) + 8))
+						if decided != 0 {
+							atomic.StoreInt64(&state[u], decided)
+						} else {
+							undecided++
+						}
+					}
+				}
+				progress[id*8] = undecided
+				t.BarrierWait(barrier)
+				if id == 0 {
+					total := int64(0)
+					for k := 0; k < nthreads; k++ {
+						total += progress[k*8]
+					}
+					done = total == 0
+					cursor = 0
+					if done {
+						base += p
+					}
+				}
+				t.BarrierWait(barrier)
+				if done {
+					break
+				}
+			}
+		}
+	})
+
+	in := make([]bool, n)
+	for i, s := range state {
+		in[i] = s == 1
+	}
+	return &Result{InSet: in}
+}

@@ -1,0 +1,136 @@
+package mm
+
+import (
+	"testing"
+
+	"galois"
+	"galois/internal/graph"
+)
+
+func testGraph() *graph.CSR {
+	return graph.Symmetrize(graph.RandomKOut(3000, 5, 42))
+}
+
+func TestEdgesOf(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 1)
+	edges := EdgesOf(b.Build())
+	if len(edges) != 2 {
+		t.Fatalf("edges = %v", edges)
+	}
+	for _, e := range edges {
+		if e.U >= e.V {
+			t.Fatalf("unnormalized edge %v", e)
+		}
+	}
+}
+
+func TestSeqValidMatching(t *testing.T) {
+	g := testGraph()
+	r := Seq(g)
+	if err := r.Check(g); err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() == 0 {
+		t.Fatal("empty matching")
+	}
+}
+
+func TestSeqOnPath(t *testing.T) {
+	// Path 0-1-2-3: lex-first matching = {(0,1), (2,3)}.
+	g := graph.Chain(4)
+	r := Seq(g)
+	if r.Mate[0] != 1 || r.Mate[1] != 0 || r.Mate[2] != 3 || r.Mate[3] != 2 {
+		t.Fatalf("mate = %v", r.Mate)
+	}
+}
+
+func TestPBBSEqualsSeq(t *testing.T) {
+	g := testGraph()
+	want := Seq(g).Fingerprint()
+	for _, threads := range []int{1, 2, 8} {
+		r := PBBS(g, threads)
+		if err := r.Check(g); err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
+		if r.Fingerprint() != want {
+			t.Fatalf("threads=%d: not the lex-first matching", threads)
+		}
+	}
+}
+
+func TestGaloisNondetValid(t *testing.T) {
+	g := testGraph()
+	for _, threads := range []int{1, 4, 8} {
+		r := Galois(g, galois.WithThreads(threads))
+		if err := r.Check(g); err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
+	}
+}
+
+func TestGaloisDetPortable(t *testing.T) {
+	g := testGraph()
+	ref := Galois(g, galois.WithThreads(1), galois.WithSched(galois.Deterministic))
+	if err := ref.Check(g); err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Fingerprint()
+	for _, threads := range []int{2, 4, 8} {
+		r := Galois(g, galois.WithThreads(threads), galois.WithSched(galois.Deterministic))
+		if err := r.Check(g); err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
+		if r.Fingerprint() != want {
+			t.Fatalf("threads=%d: matching differs across thread counts", threads)
+		}
+	}
+}
+
+func TestContinuationTransparency(t *testing.T) {
+	g := graph.Symmetrize(graph.RandomKOut(1000, 4, 7))
+	a := Galois(g, galois.WithThreads(4), galois.WithSched(galois.Deterministic))
+	b := Galois(g, galois.WithThreads(4), galois.WithSched(galois.Deterministic),
+		galois.WithoutContinuation())
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("continuation optimization changed the matching")
+	}
+}
+
+func TestCheckDetectsViolations(t *testing.T) {
+	g := graph.Chain(4)
+	// Asymmetric match.
+	bad := &Result{Mate: []uint32{1, NoMatch, NoMatch, NoMatch}}
+	if bad.Check(g) == nil {
+		t.Fatal("asymmetric match not detected")
+	}
+	// Non-maximal (no matches at all).
+	bad = &Result{Mate: []uint32{NoMatch, NoMatch, NoMatch, NoMatch}}
+	if bad.Check(g) == nil {
+		t.Fatal("non-maximal matching not detected")
+	}
+	// Matched non-edge.
+	bad = &Result{Mate: []uint32{2, 3, 0, 1}}
+	if bad.Check(g) == nil {
+		t.Fatal("non-edge match not detected")
+	}
+}
+
+func TestMatchingSizeBounds(t *testing.T) {
+	// A maximal matching is at least half a maximum one; on the random
+	// graph nearly all nodes should be covered.
+	g := testGraph()
+	r := Seq(g)
+	covered := 0
+	for _, m := range r.Mate {
+		if m != NoMatch {
+			covered++
+		}
+	}
+	if covered < g.N()*8/10 {
+		t.Fatalf("only %d/%d nodes covered", covered, g.N())
+	}
+}

@@ -1,0 +1,44 @@
+package msf
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"galois"
+	"galois/internal/graph"
+)
+
+// TestScalingGN guards against the quadratic contraction regression (LIFO
+// survivor-swallows-all); it fails on gross slowdowns rather than timing
+// noise by bounding the growth factor between doublings.
+func TestScalingGN(t *testing.T) {
+	var prev time.Duration
+	for _, n := range []int{5000, 10000, 20000} {
+		g := graph.Symmetrize(graph.RandomKOut(n, 5, 42))
+		edges := RandomWeights(g, 1000, 7)
+		start := time.Now()
+		Galois(g.N(), edges)
+		el := time.Since(start)
+		if prev > 0 && el > prev*8 && el > 2*time.Second {
+			t.Fatalf("superlinear blowup: n=%d took %s (previous size %s)", n, el, prev)
+		}
+		prev = el
+	}
+}
+
+func TestScalingGD(t *testing.T) {
+	g := graph.Symmetrize(graph.RandomKOut(8000, 5, 42))
+	edges := RandomWeights(g, 1000, 7)
+	start := time.Now()
+	r := Galois(g.N(), edges, galois.WithSched(galois.Deterministic))
+	el := time.Since(start)
+	fmt.Printf("g-d n=8000: %s (rounds %d)\n", el, r.Stats.Rounds)
+	if el > 2*time.Minute {
+		t.Fatalf("deterministic msf too slow: %s", el)
+	}
+	want := Seq(g.N(), edges)
+	if r.Fingerprint() != want.Fingerprint() {
+		t.Fatal("MSF mismatch at scale")
+	}
+}

@@ -1,0 +1,242 @@
+package pfp
+
+import "galois/internal/stats"
+
+// Seq computes the max-flow value with an optimized sequential FIFO
+// push–relabel: current-arc pointers, the gap heuristic, and periodic
+// global relabeling — the standard hi_pr feature set (first phase only:
+// it computes the maximum preflow, whose sink excess is the max-flow
+// value).
+func Seq(nw *Network) (int64, stats.Stats) {
+	col := stats.NewCollector(1)
+	col.Start()
+	n := nw.N
+	s, t := nw.Source, nw.Sink
+	nodes := nw.nodes
+	curArc := make([]int64, n)
+	for u := 0; u < n; u++ {
+		curArc[u] = nw.off[u]
+	}
+	// Gap heuristic bookkeeping: count of nodes at each height < n.
+	heightCount := make([]int64, 2*n+1)
+
+	queue := make([]int32, 0, n)
+	inQueue := make([]bool, n)
+	enqueue := func(u int) {
+		if u != s && u != t && !inQueue[u] && nodes[u].excess > 0 && nodes[u].height < uint32(n) {
+			inQueue[u] = true
+			queue = append(queue, int32(u))
+		}
+	}
+
+	globalRelabel := func() {
+		// Heights = BFS distance to sink over reverse residual arcs;
+		// unreachable nodes park at n (inactive in phase one).
+		for u := 0; u < n; u++ {
+			nodes[u].height = uint32(n)
+		}
+		nodes[t].height = 0
+		bfs := make([]int32, 0, n)
+		bfs = append(bfs, int32(t))
+		for head := 0; head < len(bfs); head++ {
+			w := int(bfs[head])
+			hw := nodes[w].height
+			lo, hi := nw.Arcs(w)
+			for a := lo; a < hi; a++ {
+				x := int(nw.head[a])
+				// Residual arc x->w exists iff cap[rev[a]] > 0.
+				if nw.cap[nw.rev[a]] > 0 && nodes[x].height == uint32(n) && x != s {
+					nodes[x].height = hw + 1
+					bfs = append(bfs, int32(x))
+				}
+			}
+		}
+		nodes[s].height = uint32(n)
+		for i := range heightCount {
+			heightCount[i] = 0
+		}
+		for u := 0; u < n; u++ {
+			heightCount[nodes[u].height]++
+		}
+		for u := 0; u < n; u++ {
+			curArc[u] = nw.off[u]
+		}
+		// Rebuild the queue under the new heights.
+		queue = queue[:0]
+		for u := range inQueue {
+			inQueue[u] = false
+		}
+		for u := 0; u < n; u++ {
+			enqueue(u)
+		}
+	}
+
+	// Initialize: saturate source arcs.
+	lo, hi := nw.Arcs(s)
+	for a := lo; a < hi; a++ {
+		c := nw.cap[a]
+		if c <= 0 {
+			continue
+		}
+		v := int(nw.head[a])
+		nw.cap[a] = 0
+		nw.cap[nw.rev[a]] += c
+		nodes[v].excess += c
+		col.AtomicOp(0, 1)
+	}
+	globalRelabel()
+
+	relabels := 0
+	sinceGlobal := 0
+	for len(queue) > 0 {
+		u := int(queue[0])
+		queue = queue[1:]
+		inQueue[u] = false
+		// Discharge u.
+		for nodes[u].excess > 0 && nodes[u].height < uint32(n) {
+			lo, hi := nw.Arcs(u)
+			pushed := false
+			for a := curArc[u]; a < hi; a++ {
+				v := int(nw.head[a])
+				if nw.cap[a] > 0 && nodes[u].height == nodes[v].height+1 {
+					d := nodes[u].excess
+					if nw.cap[a] < d {
+						d = nw.cap[a]
+					}
+					nw.cap[a] -= d
+					nw.cap[nw.rev[a]] += d
+					nodes[u].excess -= d
+					nodes[v].excess += d
+					col.AtomicOp(0, 2)
+					enqueue(v)
+					curArc[u] = a
+					pushed = true
+					if nodes[u].excess == 0 {
+						break
+					}
+				}
+			}
+			if nodes[u].excess == 0 {
+				break
+			}
+			if pushed && curArc[u] < hi {
+				continue
+			}
+			// Relabel: minimum neighbor height + 1 over residual arcs.
+			oldH := nodes[u].height
+			minH := uint32(2 * n)
+			for a := lo; a < hi; a++ {
+				if nw.cap[a] > 0 {
+					if h := nodes[int(nw.head[a])].height; h < minH {
+						minH = h
+					}
+				}
+			}
+			newH := minH + 1
+			if newH > uint32(n) {
+				newH = uint32(n)
+			}
+			heightCount[oldH]--
+			nodes[u].height = newH
+			heightCount[newH]++
+			curArc[u] = lo
+			relabels++
+			sinceGlobal++
+			col.AtomicOp(0, 1)
+			// Gap heuristic: no nodes left at oldH means every node
+			// above oldH (below n) is disconnected from the sink.
+			if oldH < uint32(n) && heightCount[oldH] == 0 {
+				for v := 0; v < n; v++ {
+					if h := nodes[v].height; h > oldH && h < uint32(n) {
+						heightCount[h]--
+						nodes[v].height = uint32(n)
+						heightCount[n]++
+					}
+				}
+			}
+			if sinceGlobal >= n {
+				sinceGlobal = 0
+				globalRelabel()
+				break // u's queue status was rebuilt
+			}
+		}
+		col.Commit(0)
+		enqueue(u)
+	}
+	col.Stop()
+	return nw.FlowValue(), col.Snapshot()
+}
+
+// Dinic computes the max-flow value with Dinic's algorithm — an
+// independent checker for the push–relabel implementations. It uses its
+// own capacity copy and leaves nw untouched.
+func Dinic(nw *Network) int64 {
+	caps := make([]int64, len(nw.orig))
+	copy(caps, nw.orig)
+	n := nw.N
+	s, t := nw.Source, nw.Sink
+	level := make([]int32, n)
+	iter := make([]int64, n)
+
+	bfs := func() bool {
+		for i := range level {
+			level[i] = -1
+		}
+		level[s] = 0
+		q := []int32{int32(s)}
+		for head := 0; head < len(q); head++ {
+			u := int(q[head])
+			lo, hi := nw.Arcs(u)
+			for a := lo; a < hi; a++ {
+				v := int(nw.head[a])
+				if caps[a] > 0 && level[v] < 0 {
+					level[v] = level[u] + 1
+					q = append(q, int32(v))
+				}
+			}
+		}
+		return level[t] >= 0
+	}
+
+	var dfs func(u int, f int64) int64
+	dfs = func(u int, f int64) int64 {
+		if u == t {
+			return f
+		}
+		_, hi := nw.Arcs(u)
+		for ; iter[u] < hi; iter[u]++ {
+			a := iter[u]
+			v := int(nw.head[a])
+			if caps[a] <= 0 || level[v] != level[u]+1 {
+				continue
+			}
+			d := f
+			if caps[a] < d {
+				d = caps[a]
+			}
+			if got := dfs(v, d); got > 0 {
+				caps[a] -= got
+				caps[nw.rev[a]] += got
+				return got
+			}
+		}
+		return 0
+	}
+
+	const inf = int64(1) << 62
+	var flow int64
+	for bfs() {
+		lo := nw.off
+		for u := 0; u < n; u++ {
+			iter[u] = lo[u]
+		}
+		for {
+			f := dfs(s, inf)
+			if f == 0 {
+				break
+			}
+			flow += f
+		}
+	}
+	return flow
+}

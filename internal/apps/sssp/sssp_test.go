@@ -1,0 +1,125 @@
+package sssp
+
+import (
+	"testing"
+
+	"galois"
+	"galois/internal/graph"
+)
+
+func testGraph() *graph.Weighted {
+	return graph.RandomWeighted(3000, 4, 100, 42)
+}
+
+func TestSeqOnHandBuilt(t *testing.T) {
+	// 0 -1- 1 -1- 2, plus a heavy direct edge 0 -5- 2.
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	csr := graph.Symmetrize(b.Build())
+	w := make([]uint32, csr.M())
+	setW := func(u int, v uint32, x uint32) {
+		lo, _ := csr.EdgeRange(u)
+		for i, n := range csr.Neighbors(u) {
+			if n == v {
+				w[lo+int64(i)] = x
+			}
+		}
+	}
+	setW(0, 1, 1)
+	setW(1, 0, 1)
+	setW(1, 2, 1)
+	setW(2, 1, 1)
+	setW(0, 2, 5)
+	setW(2, 0, 5)
+	g := &graph.Weighted{CSR: csr, W: w}
+	r := Seq(g, 0)
+	if r.Dist[0] != 0 || r.Dist[1] != 1 || r.Dist[2] != 2 {
+		t.Fatalf("dist = %v", r.Dist)
+	}
+}
+
+func TestGaloisNondetMatchesDijkstra(t *testing.T) {
+	g := testGraph()
+	want := Seq(g, 0)
+	for _, threads := range []int{1, 4, 8} {
+		got := Galois(g, 0, DefaultOptions(100), galois.WithThreads(threads))
+		for v := range want.Dist {
+			if got.Dist[v] != want.Dist[v] {
+				t.Fatalf("threads=%d: dist[%d] = %d, want %d", threads, v, got.Dist[v], want.Dist[v])
+			}
+		}
+	}
+}
+
+func TestGaloisWithoutOBIMMatches(t *testing.T) {
+	g := testGraph()
+	want := Seq(g, 0).Fingerprint()
+	got := Galois(g, 0, Options{}, galois.WithThreads(4)).Fingerprint()
+	if got != want {
+		t.Fatal("FIFO-mode sssp differs from dijkstra")
+	}
+}
+
+func TestGaloisDetMatchesAndIsPortable(t *testing.T) {
+	g := testGraph()
+	want := Seq(g, 0)
+	var ref galois.Stats
+	for i, threads := range []int{1, 2, 8} {
+		got := Galois(g, 0, DefaultOptions(100),
+			galois.WithThreads(threads), galois.WithSched(galois.Deterministic))
+		if got.Fingerprint() != want.Fingerprint() {
+			t.Fatalf("threads=%d: distances differ from dijkstra", threads)
+		}
+		if i == 0 {
+			ref = got.Stats
+		} else if got.Stats.Commits != ref.Commits || got.Stats.Rounds != ref.Rounds {
+			t.Fatalf("threads=%d: schedule differs (%d/%d vs %d/%d)",
+				threads, got.Stats.Commits, got.Stats.Rounds, ref.Commits, ref.Rounds)
+		}
+	}
+}
+
+func TestOBIMReducesWastedWork(t *testing.T) {
+	// Priority scheduling should commit far fewer tasks than plain LIFO
+	// on a weighted graph (fewer corrections of bad labels). Compare
+	// task counts, which are timing-independent.
+	g := graph.RandomWeighted(2000, 4, 1000, 7)
+	obim := Galois(g, 0, DefaultOptions(1000), galois.WithThreads(1))
+	fifo := Galois(g, 0, Options{}, galois.WithThreads(1))
+	if obim.Stats.Commits > fifo.Stats.Commits*2 {
+		t.Fatalf("obim commits %d vs fifo %d — priority order not helping",
+			obim.Stats.Commits, fifo.Stats.Commits)
+	}
+	t.Logf("commits: obim=%d fifo=%d", obim.Stats.Commits, fifo.Stats.Commits)
+}
+
+func TestUnreachableNodes(t *testing.T) {
+	// Two components: nodes in the far component stay at Inf.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	csr := graph.Symmetrize(b.Build())
+	g := &graph.Weighted{CSR: csr, W: make([]uint32, csr.M())}
+	for i := range g.W {
+		g.W[i] = 1
+	}
+	r := Galois(g, 0, Options{}, galois.WithThreads(2))
+	if r.Dist[2] != Inf || r.Dist[3] != Inf {
+		t.Fatal("unreachable nodes have finite distance")
+	}
+	if r.Dist[1] != 1 {
+		t.Fatalf("dist[1] = %d", r.Dist[1])
+	}
+}
+
+func TestContinuationTransparency(t *testing.T) {
+	g := graph.RandomWeighted(1000, 4, 50, 9)
+	a := Galois(g, 0, Options{}, galois.WithThreads(4), galois.WithSched(galois.Deterministic))
+	b := Galois(g, 0, Options{}, galois.WithThreads(4), galois.WithSched(galois.Deterministic),
+		galois.WithoutContinuation())
+	if a.Fingerprint() != b.Fingerprint() || a.Stats.Commits != b.Stats.Commits {
+		t.Fatal("continuation optimization changed sssp execution")
+	}
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"galois/internal/cachesim"
+	"galois/internal/marks"
+	"galois/internal/stats"
+)
+
+// mode is the execution mode of a task body. One body runs under up to
+// three modes depending on the scheduler and optimizations, which is what
+// makes determinism "on-demand": the program text never changes.
+type mode int
+
+const (
+	// modeDirect: non-deterministic scheduler; Acquire locks eagerly and
+	// aborts on conflict (Figure 1b).
+	modeDirect mode = iota
+	// modeInspect: DIG inspect phase; Acquire performs writeMarksMax and
+	// never aborts (Figure 3), so every task contributes its id to the
+	// max at every neighborhood location.
+	modeInspect
+	// modeValidate: DIG baseline commit phase; the body re-executes and
+	// Acquire checks that every mark still holds the task's id
+	// (Figure 3, selectAndExec line 11).
+	modeValidate
+)
+
+// conflictSignal is the panic sentinel used to unwind a task on conflict.
+// Cautious tasks perform no global writes before the failsafe point, so
+// unwinding is all the rollback that is ever needed (§2.1).
+type conflictSignal struct{}
+
+// child is a dynamically created task plus its deterministic sort key.
+type child[T any] struct {
+	item T
+	// parent is id(t) of the creating task; k is the creation index
+	// within the parent. Together they are the lexicographic sort key of
+	// §3.2. In PreassignedIDs mode, pre carries the user-supplied id.
+	parent uint64
+	k      uint64
+	pre    uint64
+}
+
+// Ctx is the per-task execution context handed to task bodies. It carries
+// the task's mark record, its discovered neighborhood, the deferred commit
+// closure and any created children. A Ctx is owned by one worker goroutine
+// at a time and must not escape the task body.
+type Ctx[T any] struct {
+	tid     int
+	threads int
+	mode    mode
+	det     bool
+	rec     *marks.Rec
+
+	// acquired is the neighborhood discovered so far: locations this
+	// task owned at acquire time. Owners clear these marks at round end.
+	acquired []*marks.Lockable
+	// commitFn is the failsafe continuation registered by OnCommit.
+	commitFn func(*Ctx[T])
+	// inCommit is true while commitFn runs; Acquire is then illegal.
+	inCommit bool
+	// failed is set in inspect mode when the task loses a location; the
+	// body keeps running so that remaining locations still see its id.
+	failed bool
+
+	children []child[T]
+	nchild   uint64
+
+	ops int // batched atomic-op count, flushed to col per task
+	col *stats.Collector
+	pro *cachesim.Tracer
+}
+
+func (c *Ctx[T]) reset(tid int, m mode, rec *marks.Rec) {
+	c.tid = tid
+	c.mode = m
+	c.rec = rec
+	c.acquired = c.acquired[:0]
+	c.commitFn = nil
+	c.inCommit = false
+	c.failed = false
+	c.children = c.children[:0]
+	c.nchild = 0
+	c.ops = 0
+}
+
+// TID returns the executing worker's id in [0, Threads()). It is stable for
+// the duration of one body or commit-closure execution only.
+func (c *Ctx[T]) TID() int { return c.tid }
+
+// Threads returns the number of workers executing the loop.
+func (c *Ctx[T]) Threads() int { return c.threads }
+
+// Deterministic reports whether the loop runs under the DIG scheduler.
+// Programs should not branch on this to change their output — doing so
+// forfeits the on-demand property — but it is useful for diagnostics.
+func (c *Ctx[T]) Deterministic() bool { return c.det }
+
+// Acquire adds the abstract location l to the task's neighborhood. Every
+// read of shared state must be preceded by acquiring the location that
+// guards it; this is what makes tasks cautious by construction.
+//
+// Under the non-deterministic scheduler a conflict aborts and retries the
+// task. Under the DIG scheduler, inspect-phase acquisition performs
+// writeMarksMax and execute-phase acquisition validates ownership.
+func (c *Ctx[T]) Acquire(l *marks.Lockable) {
+	if c.inCommit || c.commitFn != nil {
+		panic("galois: Acquire after OnCommit — task is not cautious")
+	}
+	if c.pro != nil {
+		c.pro.Touch(c.tid, l)
+	}
+	switch c.mode {
+	case modeDirect:
+		ok, ops := l.TryAcquire(c.rec)
+		c.ops += ops
+		if !ok {
+			panic(conflictSignal{})
+		}
+		if len(c.acquired) == 0 || c.acquired[len(c.acquired)-1] != l {
+			c.acquired = append(c.acquired, l)
+		}
+	case modeInspect:
+		owned, stole, ops := l.WriteMax(c.rec)
+		c.ops += ops
+		if owned {
+			if stole != nil {
+				// The displaced lower-id task can no longer
+				// own all of its neighborhood (§3.3).
+				stole.Prevented.Store(true)
+				c.ops++
+			}
+			// Re-acquiring an owned location appends a duplicate;
+			// clearing and validation are idempotent, so that is
+			// harmless and cheaper than deduplicating here.
+			c.acquired = append(c.acquired, l)
+		} else {
+			// A higher-id task holds the mark; this task cannot
+			// commit this round, but inspection continues so the
+			// remaining locations still observe its id.
+			c.failed = true
+			c.rec.Prevented.Store(true)
+			c.ops++
+		}
+	case modeValidate:
+		c.ops++
+		if !l.OwnedBy(c.rec) {
+			panic(conflictSignal{})
+		}
+	}
+}
+
+// OnCommit registers the task's write phase. The call marks the failsafe
+// point of §2.1: everything before it must be read-only with respect to
+// shared state; all shared writes go inside fn. fn runs exactly once if and
+// when the task commits, and never runs for aborted or failed attempts.
+//
+// Under the continuation optimization (§3.3) fn may run on a different
+// worker, long after the task body returned; it therefore receives the
+// executing context as its argument and MUST NOT capture the context that
+// was passed to the task body.
+//
+// A task without shared writes may omit OnCommit entirely.
+func (c *Ctx[T]) OnCommit(fn func(*Ctx[T])) {
+	if c.inCommit {
+		panic("galois: OnCommit inside OnCommit")
+	}
+	if c.commitFn != nil {
+		panic("galois: OnCommit called twice in one task")
+	}
+	if fn == nil {
+		panic("galois: OnCommit with nil function")
+	}
+	c.commitFn = fn
+}
+
+// Push creates a new task (an element of S(t), §2). The task enters the
+// pool only if the creating task commits. Under the DIG scheduler the new
+// task's deterministic id derives from (id(parent), creation index).
+func (c *Ctx[T]) Push(item T) {
+	c.nchild++
+	c.children = append(c.children, child[T]{item: item, parent: c.rec.ID, k: c.nchild})
+}
+
+// PushWithID creates a new task with an explicit scheduling priority,
+// implementing the pre-assigned-ids optimization of §3.3. It requires the
+// loop to run with PreassignedIDs; ids must be unique across the loop for
+// the schedule to be fully deterministic (ties are broken by creation
+// order, which is deterministic under DIG anyway).
+func (c *Ctx[T]) PushWithID(item T, id uint64) {
+	c.nchild++
+	c.children = append(c.children, child[T]{item: item, parent: c.rec.ID, k: c.nchild, pre: id})
+}
+
+// CountAtomic adds n application-level atomic updates to the run's
+// statistics (the Figure 5 communication proxy) without performing any
+// synchronization itself.
+func (c *Ctx[T]) CountAtomic(n int) { c.ops += n }
+
+// runBody executes body under the current mode, translating conflict
+// panics into the returned flag. Any other panic propagates to the caller.
+func (c *Ctx[T]) runBody(body func(*Ctx[T], T), item T) (conflicted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(conflictSignal); ok {
+				conflicted = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	body(c, item)
+	return false
+}
+
+// flushOps transfers the batched atomic-op count to the collector.
+func (c *Ctx[T]) flushOps() {
+	if c.ops != 0 {
+		c.col.AtomicOp(c.tid, c.ops)
+		c.ops = 0
+	}
+}
+
+// traceCommitTouches records the write phase's accesses to the task's
+// neighborhood for the locality model (§5.4): the commit phase revisits the
+// data the read phase loaded. Under the non-deterministic scheduler the two
+// visits are adjacent in time (cache hits); under DIG they are separated by
+// the rest of the round's inspect phase — the locality loss the paper
+// measures with DRAM counters.
+func (c *Ctx[T]) traceCommitTouches(acquired []*marks.Lockable) {
+	if c.pro == nil {
+		return
+	}
+	for _, l := range acquired {
+		c.pro.Touch(c.tid, l)
+	}
+}

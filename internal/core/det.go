@@ -1,0 +1,275 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"galois/internal/marks"
+	"galois/internal/para"
+	"galois/internal/stats"
+)
+
+// detTask is the scheduler-side record for one task in the current
+// generation. Its rec is the task's identity in the marks protocol; the id
+// stored in rec is the task's position in the generation's deterministic
+// order (§3.2).
+type detTask[T any] struct {
+	rec      marks.Rec
+	item     T
+	acquired []*marks.Lockable
+	commitFn func(*Ctx[T])
+	children []child[T]
+	// failed records this round's outcome: the task was not in the
+	// selected independent set and is retried next round.
+	failed bool
+}
+
+// runDeterministic is the DIG scheduler of Figure 2. Tasks execute in
+// generations: the initial tasks form generation zero; tasks created during
+// a generation are collected, sorted by their deterministic keys, and form
+// the next generation (todo/next in the pseudocode). Within a generation,
+// execution proceeds in rounds over an adaptively sized window.
+func runDeterministic[T any](items []T, body func(*Ctx[T], T), opt Options, col *stats.Collector) {
+	if len(items) == 0 {
+		return
+	}
+	nthreads := opt.Threads
+
+	ctxs := make([]*Ctx[T], nthreads)
+	for i := range ctxs {
+		ctxs[i] = &Ctx[T]{threads: nthreads, det: true, col: col, pro: opt.Profile}
+	}
+
+	gen := makeGeneration[T](len(items), func(i int) T { return items[i] })
+	for len(gen) > 0 {
+		win := newWindowPolicy(len(gen), opt)
+		if opt.LocalityInterleave {
+			gen = interleavePermute(gen, win.size)
+		}
+		// Ids are positions in the generation's deterministic order;
+		// 0 is reserved for "unowned" (nil mark), so ids start at 1.
+		for i, t := range gen {
+			t.rec.Reset(uint64(i) + 1)
+		}
+		produced := runGeneration(gen, body, opt, col, ctxs, &win, nthreads)
+		if len(produced) == 0 {
+			return
+		}
+		sortChildren(produced, opt.PreassignedIDs, opt.Threads)
+		gen = makeGeneration[T](len(produced), func(i int) T { return produced[i].item })
+	}
+}
+
+// makeGeneration allocates a generation of n tasks with one backing array.
+func makeGeneration[T any](n int, item func(int) T) []*detTask[T] {
+	backing := make([]detTask[T], n)
+	gen := make([]*detTask[T], n)
+	for i := range backing {
+		backing[i].item = item(i)
+		gen[i] = &backing[i]
+	}
+	return gen
+}
+
+// runGeneration executes one generation to completion and returns the tasks
+// it created. Workers are persistent across rounds and synchronize with a
+// barrier, mirroring the barrier structure of Figure 2; worker 0 doubles as
+// the round coordinator.
+func runGeneration[T any](gen []*detTask[T], body func(*Ctx[T], T), opt Options,
+	col *stats.Collector, ctxs []*Ctx[T], win *windowPolicy, nthreads int) []child[T] {
+
+	var (
+		produced []child[T]
+		next     = gen
+		cur      []*detTask[T]
+		rest     []*detTask[T]
+		done     bool
+		insCtr   atomic.Int64
+		exeCtr   atomic.Int64
+		chunk    int64
+	)
+
+	setupRound := func() {
+		if len(next) == 0 {
+			done = true
+			return
+		}
+		w := win.next(len(next))
+		cur, rest = next[:w:w], next[w:]
+		chunk = int64(w / (nthreads * 8))
+		if chunk < 1 {
+			chunk = 1
+		}
+		if chunk > 64 {
+			chunk = 64
+		}
+		insCtr.Store(0)
+		exeCtr.Store(0)
+	}
+	setupRound()
+	if done {
+		return nil
+	}
+
+	bar := para.NewBarrier(nthreads)
+	para.Run(nthreads, func(tid int) {
+		ctx := ctxs[tid]
+		for {
+			if done {
+				return
+			}
+			// Phase 1: inspect (Figure 2 line 14).
+			for {
+				start := insCtr.Add(chunk) - chunk
+				if start >= int64(len(cur)) {
+					break
+				}
+				end := min(start+chunk, int64(len(cur)))
+				for _, t := range cur[start:end] {
+					inspectTask(ctx, t, body, tid, opt.Continuation)
+				}
+			}
+			bar.Wait()
+			// Phase 2: selectAndExec (Figure 2 line 19).
+			for {
+				start := exeCtr.Add(chunk) - chunk
+				if start >= int64(len(cur)) {
+					break
+				}
+				end := min(start+chunk, int64(len(cur)))
+				for _, t := range cur[start:end] {
+					execTask(ctx, t, body, tid, opt.Continuation)
+				}
+			}
+			bar.Wait()
+			// Coordination: gather results, adapt the window, form
+			// the next round (Figure 2 lines 9-12). Worker 0 runs
+			// this serially between barriers.
+			if tid == 0 {
+				committed := 0
+				var failed []*detTask[T]
+				for _, t := range cur {
+					if t.failed {
+						failed = append(failed, t)
+						continue
+					}
+					committed++
+					if len(t.children) > 0 {
+						produced = append(produced, t.children...)
+					}
+					t.children = nil
+					t.commitFn = nil
+					t.acquired = nil
+				}
+				if committed == 0 {
+					// The max-id task in every round owns all
+					// of its marks by construction (§3.2).
+					panic("galois: deterministic round committed no tasks")
+				}
+				col.Round(len(cur), committed)
+				win.update(len(cur), committed)
+				if len(failed) > 0 {
+					// Failed tasks keep their priority: they
+					// precede untried tasks in the next round.
+					next = append(failed, rest...)
+				} else {
+					next = rest
+				}
+				setupRound()
+			}
+			bar.Wait()
+		}
+	})
+	return produced
+}
+
+// inspectTask runs one task up to (through) its failsafe point in inspect
+// mode, performing writeMarksMax over its neighborhood. With the
+// continuation optimization the registered commit closure and any phase-1
+// children are retained for resumption; without it they are discarded and
+// the commit phase re-executes the body.
+func inspectTask[T any](ctx *Ctx[T], t *detTask[T], body func(*Ctx[T], T), tid int, keepCont bool) {
+	// Clear last round's outcome before writing any marks: stealers only
+	// touch this rec after its first mark write, so no flag update can
+	// be lost (see marks.Rec.Prevented).
+	t.rec.Prevented.Store(false)
+	ctx.reset(tid, modeInspect, &t.rec)
+	ctx.acquired = t.acquired[:0]
+	ctx.children = t.children[:0]
+	ctx.runBody(body, t.item)
+	t.acquired = ctx.acquired
+	if keepCont {
+		t.commitFn = ctx.commitFn
+		t.children = ctx.children
+	} else {
+		t.commitFn = nil
+		t.children = ctx.children[:0]
+	}
+	ctx.flushOps()
+	ctx.col.Inspect(tid)
+}
+
+// execTask decides whether t is in the round's independent set and, if so,
+// commits it. Either way it clears the marks t still owns, so every mark is
+// unowned again by the end of the phase.
+func execTask[T any](ctx *Ctx[T], t *detTask[T], body func(*Ctx[T], T), tid int, continuation bool) {
+	if continuation {
+		// §3.3: the prevented flag subsumes mark re-validation — it
+		// is set iff some location of t ended up owned by a higher id.
+		if t.rec.Prevented.Load() {
+			t.failed = true
+			ctx.col.Abort(tid)
+		} else {
+			t.failed = false
+			if t.commitFn != nil {
+				ctx.reset(tid, modeInspect, &t.rec)
+				ctx.children = t.children
+				ctx.nchild = childMax(t.children)
+				ctx.inCommit = true
+				t.commitFn(ctx)
+				ctx.inCommit = false
+				t.children = ctx.children
+				ctx.traceCommitTouches(t.acquired)
+			}
+			ctx.col.Commit(tid)
+		}
+	} else {
+		// Baseline (§3.2): re-execute from the beginning; Acquire
+		// validates that each mark still holds this task's id and
+		// unwinds on the first mismatch.
+		ctx.reset(tid, modeValidate, &t.rec)
+		if conflicted := ctx.runBody(body, t.item); conflicted {
+			t.failed = true
+			ctx.col.Abort(tid)
+		} else {
+			t.failed = false
+			if ctx.commitFn != nil {
+				ctx.inCommit = true
+				ctx.commitFn(ctx)
+				ctx.inCommit = false
+			}
+			t.children = append(t.children[:0], ctx.children...)
+			ctx.col.Commit(tid)
+		}
+	}
+	for _, l := range t.acquired {
+		ctx.ops += l.ClearIfOwner(&t.rec)
+	}
+	ctx.flushOps()
+	if !t.failed {
+		for range t.children {
+			ctx.col.Push(tid)
+		}
+	}
+}
+
+// childMax returns the largest creation index among cs, so that pushes from
+// the commit closure continue the parent's (id, k) sequence.
+func childMax[T any](cs []child[T]) uint64 {
+	var m uint64
+	for i := range cs {
+		if cs[i].k > m {
+			m = cs[i].k
+		}
+	}
+	return m
+}

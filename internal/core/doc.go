@@ -1,0 +1,69 @@
+// Package core implements the two Galois schedulers of the paper: the
+// non-deterministic speculative scheduler of §2.1 (Figure 1b) and the
+// deterministic interference-graph (DIG) scheduler of §3 (Figures 2-3),
+// including the §3.3 optimizations. The public API lives in the root
+// package galois; core is generic over the task item type.
+//
+// # Execution protocol
+//
+// A task body runs under one of three modes (see Ctx):
+//
+//   - modeDirect (non-deterministic): Acquire locks each location with
+//     compare-and-set as the body reads it; a conflict unwinds the body via
+//     a panic sentinel, releases the marks, and requeues the task. Because
+//     tasks are cautious — no shared writes before the OnCommit closure —
+//     unwinding is the entire rollback.
+//   - modeInspect (DIG phase 1): Acquire performs writeMarksMax: the
+//     highest task id wins each location, displaced owners get their
+//     Prevented flag set, and losing tasks self-flag but keep marking (the
+//     max over a fixed set is order-independent only if every element
+//     participates). The cumulative marks are the round's interference
+//     graph; nobody mutates shared program state in this phase.
+//   - modeValidate (DIG phase 2, baseline): the body re-executes; Acquire
+//     asserts ownership and unwinds on the first mismatch. With the
+//     continuation optimization the re-execution is skipped: the Prevented
+//     flag alone decides, and the closure saved at inspect time resumes.
+//
+// # Why the Prevented flag equals mark validation
+//
+// Task t fails to own location l at the end of inspect iff some other task
+// u with id(u) > id(t) marked l this round. Two cases: u marked l after t
+// (u observed t's mark and stole it, setting t.Prevented), or before
+// (t observed u's mark, lost the WriteMax, and self-set t.Prevented).
+// Either way Prevented(t) is set; conversely Prevented(t) is only ever set
+// in those two situations. So Prevented(t) <=> t does not own its whole
+// neighborhood <=> t is outside the round's unique independent set. The
+// spec-conformance property tests (spec_test.go) check this equivalence
+// against a direct sequential interpreter of Figure 2, with and without
+// the optimization, across thread counts.
+//
+// # Why the commit phase is race- and determinism-safe
+//
+// Committed tasks within one round have disjoint neighborhoods (they all
+// own everything they touched), so their write phases touch disjoint
+// locations. A validating re-execution (baseline mode) can run while other
+// tasks commit, but every location it reads it owns — if control flow ever
+// reaches a location it does not own, Acquire unwinds it before the value
+// is used — so it observes exactly the frozen inspect-time state.
+//
+// # Mark lifecycle
+//
+// Every round starts with all marks nil: after selectAndExec each task
+// CASes its own record out of every location it recorded (ClearIfOwner),
+// and exactly one task — the final owner — succeeds per location. A task
+// resets its Prevented flag at the start of its own inspect, strictly
+// before writing any marks, so no stealer's flag write can be lost.
+//
+// # Determinism inventory
+//
+// The deterministic schedule is a pure function of the input because every
+// input to every scheduling decision is: (i) the generation order — the
+// caller's slice order, then sorted (parent id, creation index) keys of
+// committed pushes, optionally pre-permuted by the deterministic
+// interleave; (ii) the window sequence — a pure function of per-round
+// commit counts (window.go); (iii) mark resolution — max over a round's
+// ids per location, order-independent. Thread count, chunking, stealing
+// and timing can change which worker executes what and in which order
+// within a phase, but phases are barrier-separated and every cross-phase
+// value is one of (i)-(iii).
+package core

@@ -1,0 +1,29 @@
+package core
+
+import (
+	"galois/internal/para"
+	"galois/internal/stats"
+)
+
+// ForEach executes the unordered-algorithm loop of Figure 1a over the
+// initial task pool `items` with the scheduler selected in opt, and returns
+// the run's statistics. It blocks until every task (including dynamically
+// created ones) has committed.
+func ForEach[T any](items []T, body func(*Ctx[T], T), opt Options) stats.Stats {
+	if opt.Threads <= 0 {
+		opt.Threads = para.DefaultThreads()
+	}
+	col := stats.NewCollector(opt.Threads)
+	if opt.Trace {
+		col.EnableTrace()
+	}
+	col.Start()
+	switch opt.Sched {
+	case Deterministic:
+		runDeterministic(items, body, opt, col)
+	default:
+		runNonDeterministic(items, body, opt, col)
+	}
+	col.Stop()
+	return col.Snapshot()
+}

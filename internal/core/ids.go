@@ -1,0 +1,67 @@
+package core
+
+import "galois/internal/psort"
+
+// interleavePermute reorders a generation's tasks so that tasks adjacent in
+// the original iteration order land in different scheduling windows — the
+// locality-aware round placement of §3.3. Applications lay out tasks with
+// high locality close together; executed in one window those tasks would
+// conflict, so the scheduler deals them round-robin into ceil(n/w0) buckets
+// (w0 = the initial window) and concatenates the buckets. The permutation is
+// a pure function of (n, w0): deterministic and thread-independent.
+func interleavePermute[S ~[]E, E any](tasks S, w0 int) S {
+	n := len(tasks)
+	if n <= 2 || w0 <= 0 || w0 >= n {
+		return tasks
+	}
+	buckets := (n + w0 - 1) / w0
+	if buckets <= 1 {
+		return tasks
+	}
+	out := make(S, 0, n)
+	for b := 0; b < buckets; b++ {
+		for i := b; i < n; i += buckets {
+			out = append(out, tasks[i])
+		}
+	}
+	return out
+}
+
+// sortChildren orders dynamically created tasks deterministically with a
+// parallel merge sort (the sort of Figure 2 line 5; keys are unique, so
+// parallelism cannot perturb the order). In the default mode the key is
+// the lexicographic pair (id(parent), k) of §3.2; with pre-assigned ids
+// (§3.3) the user-supplied id leads the key and (parent, k) breaks ties
+// deterministically.
+func sortChildren[T any](cs []child[T], preassigned bool, threads int) {
+	if preassigned {
+		psort.Sort(cs, func(a, b child[T]) int {
+			switch {
+			case a.pre != b.pre:
+				return cmpU64(a.pre, b.pre)
+			case a.parent != b.parent:
+				return cmpU64(a.parent, b.parent)
+			default:
+				return cmpU64(a.k, b.k)
+			}
+		}, threads)
+		return
+	}
+	psort.Sort(cs, func(a, b child[T]) int {
+		if a.parent != b.parent {
+			return cmpU64(a.parent, b.parent)
+		}
+		return cmpU64(a.k, b.k)
+	}, threads)
+}
+
+func cmpU64(a, b uint64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}

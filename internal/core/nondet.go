@@ -1,0 +1,127 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"galois/internal/marks"
+	"galois/internal/para"
+	"galois/internal/stats"
+	"galois/internal/worklist"
+)
+
+// obimAdapter binds a priority function to an OBIM worklist.
+type obimAdapter[T any] struct {
+	obim *worklist.OBIM[T]
+	prio func(T) int
+}
+
+func (a *obimAdapter[T]) Push(tid int, item T)  { a.obim.PushPrio(tid, item, a.prio(item)) }
+func (a *obimAdapter[T]) Pop(tid int) (T, bool) { return a.obim.Pop(tid) }
+
+// runNonDeterministic is the speculative scheduler of Figure 1b: each
+// worker repeatedly pops an arbitrary task, acquires its neighborhood marks
+// with compare-and-set as the body executes, and either commits (running
+// the deferred write phase and enqueueing created tasks) or aborts on
+// conflict (releasing its marks and retrying the task later).
+func runNonDeterministic[T any](items []T, body func(*Ctx[T], T), opt Options, col *stats.Collector) {
+	nthreads := opt.Threads
+	var wl interface {
+		Push(tid int, item T)
+		Pop(tid int) (T, bool)
+	}
+	switch {
+	case opt.Priority != nil:
+		fn, ok := opt.Priority.(func(T) int)
+		if !ok {
+			panic("galois: WithPriority function does not match the loop's item type")
+		}
+		levels := opt.PriorityLevels
+		if levels <= 0 {
+			levels = 64
+		}
+		wl = &obimAdapter[T]{obim: worklist.NewOBIM[T](nthreads, levels), prio: fn}
+	case opt.FIFO:
+		wl = worklist.NewChunkedFIFO[T](nthreads)
+	default:
+		wl = worklist.NewChunkedLIFO[T](nthreads)
+	}
+
+	// Seed the worklist round-robin so workers start with local work and
+	// the initial distribution is balanced.
+	for i, it := range items {
+		wl.Push(i%nthreads, it)
+	}
+
+	// pending counts tasks that exist but have not committed. Workers
+	// terminate when it reaches zero; while any worker holds a popped
+	// task, pending stays positive, so termination detection is exact.
+	var pending atomic.Int64
+	pending.Store(int64(len(items)))
+
+	para.Run(nthreads, func(tid int) {
+		ctx := &Ctx[T]{threads: nthreads, det: false, col: col, pro: opt.Profile}
+		rec := &marks.Rec{}
+		// Ids only need to be unique for the non-deterministic marks
+		// protocol (§2.1); pointer identity of rec provides that, and
+		// a nonzero ID keeps invariants uniform with DIG mode.
+		rec.Reset(uint64(tid) + 1)
+
+		backoff := 0
+		for {
+			item, ok := wl.Pop(tid)
+			if !ok {
+				if pending.Load() == 0 {
+					return
+				}
+				runtime.Gosched()
+				continue
+			}
+
+			ctx.reset(tid, modeDirect, rec)
+			if conflicted := ctx.runBody(body, item); conflicted {
+				// Roll back: release every mark acquired so
+				// far and retry the task later (Figure 1b
+				// lines 7-8). Cautious tasks performed no
+				// shared writes, so no state is restored.
+				for _, l := range ctx.acquired {
+					ctx.ops += l.Release(ctx.rec)
+				}
+				ctx.flushOps()
+				col.Abort(tid)
+				wl.Push(tid, item)
+				// Brief backoff reduces livelock between
+				// symmetric conflicting tasks.
+				backoff++
+				if backoff > 2 {
+					runtime.Gosched()
+				}
+				continue
+			}
+			backoff = 0
+
+			// Commit: run the deferred write phase while still
+			// holding all neighborhood marks, then publish
+			// created tasks, then release.
+			if ctx.commitFn != nil {
+				ctx.inCommit = true
+				ctx.commitFn(ctx)
+				ctx.inCommit = false
+				ctx.traceCommitTouches(ctx.acquired)
+			}
+			if n := len(ctx.children); n > 0 {
+				pending.Add(int64(n))
+				for _, ch := range ctx.children {
+					wl.Push(tid, ch.item)
+					col.Push(tid)
+				}
+			}
+			for _, l := range ctx.acquired {
+				ctx.ops += l.Release(ctx.rec)
+			}
+			ctx.flushOps()
+			col.Commit(tid)
+			pending.Add(-1)
+		}
+	})
+}

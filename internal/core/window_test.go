@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func policy(n int) windowPolicy { return newWindowPolicy(n, Defaults()) }
+
+func TestWindowDefaults(t *testing.T) {
+	w := policy(6400)
+	if w.size != 100 {
+		t.Fatalf("initial = %d, want n/64 = 100", w.size)
+	}
+	w = policy(10)
+	if w.size != defaultWindowMin {
+		t.Fatalf("small-n initial = %d, want floor %d", w.size, defaultWindowMin)
+	}
+}
+
+func TestWindowNextClampsToRemaining(t *testing.T) {
+	w := policy(6400)
+	if got := w.next(42); got != 42 {
+		t.Fatalf("next(42) = %d", got)
+	}
+	if got := w.next(1000); got != 100 {
+		t.Fatalf("next(1000) = %d", got)
+	}
+}
+
+func TestWindowGrowsOnHighCommitRatio(t *testing.T) {
+	w := policy(6400)
+	before := w.size
+	w.update(before, before) // 100% commits
+	if w.size != 2*before {
+		t.Fatalf("size = %d, want doubled %d", w.size, 2*before)
+	}
+}
+
+func TestWindowShrinksProportionally(t *testing.T) {
+	w := policy(6400)
+	w.update(400, 40) // 10% commits, target 95%
+	ratio := 0.10 / 0.95
+	want := int(400*ratio) + 1 // 43, above the floor
+	if w.size != want {
+		t.Fatalf("size = %d, want %d", w.size, want)
+	}
+}
+
+func TestWindowFloorHolds(t *testing.T) {
+	w := policy(6400)
+	for i := 0; i < 50; i++ {
+		w.update(w.size, 0+1) // nearly everything fails
+	}
+	if w.size < w.min {
+		t.Fatalf("size %d below floor %d", w.size, w.min)
+	}
+}
+
+func TestWindowCapHolds(t *testing.T) {
+	w := policy(1 << 30)
+	for i := 0; i < 64; i++ {
+		w.update(w.size, w.size)
+	}
+	if w.size > windowMax {
+		t.Fatalf("size %d above cap %d", w.size, windowMax)
+	}
+}
+
+func TestWindowGrowthUsesAttemptedWhenClamped(t *testing.T) {
+	w := policy(6400) // size 100
+	// A clamped round attempted more than the policy size (can happen
+	// after failed tasks re-enter); doubling uses the larger base.
+	w.update(300, 300)
+	if w.size != 600 {
+		t.Fatalf("size = %d, want 600", w.size)
+	}
+}
+
+func TestWindowPureFunctionOfHistory(t *testing.T) {
+	// Two policies fed the same (attempted, committed) history always
+	// agree — the portability argument in miniature.
+	property := func(seed int64) bool {
+		a, b := policy(100000), policy(100000)
+		x := uint64(seed)
+		for i := 0; i < 50; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			att := int(x%1000) + 1
+			com := int(x>>32) % (att + 1)
+			a.update(att, com)
+			b.update(att, com)
+			if a.size != b.size {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleavePermuteIsPermutation(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 17, 100, 1000} {
+		for _, w0 := range []int{0, 1, 4, 16, 99, 1000} {
+			in := make([]int, n)
+			for i := range in {
+				in[i] = i
+			}
+			out := interleavePermute(in, w0)
+			if len(out) != n {
+				t.Fatalf("n=%d w0=%d: length %d", n, w0, len(out))
+			}
+			seen := make([]bool, n)
+			for _, v := range out {
+				if seen[v] {
+					t.Fatalf("n=%d w0=%d: duplicate %d", n, w0, v)
+				}
+				seen[v] = true
+			}
+		}
+	}
+}
+
+func TestInterleavePermuteSpreadsNeighbors(t *testing.T) {
+	// Originally adjacent items must land in different w0-sized windows.
+	n, w0 := 1024, 64
+	in := make([]int, n)
+	for i := range in {
+		in[i] = i
+	}
+	out := interleavePermute(in, w0)
+	pos := make([]int, n)
+	for p, v := range out {
+		pos[v] = p
+	}
+	for i := 0; i+1 < n; i++ {
+		if pos[i]/w0 == pos[i+1]/w0 {
+			t.Fatalf("adjacent items %d,%d share window %d", i, i+1, pos[i]/w0)
+		}
+	}
+}
+
+func TestSortChildrenLexicographic(t *testing.T) {
+	cs := []child[string]{
+		{item: "c", parent: 2, k: 1},
+		{item: "a", parent: 1, k: 1},
+		{item: "b", parent: 1, k: 2},
+		{item: "d", parent: 2, k: 2},
+	}
+	sortChildren(cs, false, 2)
+	got := ""
+	for _, c := range cs {
+		got += c.item
+	}
+	if got != "abcd" {
+		t.Fatalf("order = %q", got)
+	}
+}
+
+func TestSortChildrenPreassigned(t *testing.T) {
+	cs := []child[string]{
+		{item: "b", parent: 9, k: 1, pre: 5},
+		{item: "a", parent: 1, k: 3, pre: 2},
+		{item: "c", parent: 1, k: 1, pre: 5}, // tie on pre: parent breaks it
+	}
+	sortChildren(cs, true, 2)
+	got := ""
+	for _, c := range cs {
+		got += c.item
+	}
+	if got != "acb" {
+		t.Fatalf("order = %q", got)
+	}
+}

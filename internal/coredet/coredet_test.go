@@ -1,0 +1,212 @@
+package coredet
+
+import (
+	"testing"
+)
+
+func TestWorkOnlyCompletes(t *testing.T) {
+	for _, enabled := range []bool{false, true} {
+		rt := New(enabled, 100)
+		var sums [4]int64
+		rt.Run(4, func(th *Thread) {
+			for i := 0; i < 1000; i++ {
+				sums[th.ID()]++
+				th.Work(7)
+			}
+		})
+		for i, s := range sums {
+			if s != 1000 {
+				t.Fatalf("enabled=%v: thread %d did %d iterations", enabled, i, s)
+			}
+		}
+		if enabled && rt.Quanta() == 0 {
+			t.Fatal("no quanta recorded")
+		}
+	}
+}
+
+func TestAtomicAddExactness(t *testing.T) {
+	for _, enabled := range []bool{false, true} {
+		rt := New(enabled, 1000)
+		var counter int64
+		rt.Run(4, func(th *Thread) {
+			for i := 0; i < 200; i++ {
+				th.AtomicAdd(&counter, 1)
+				th.Work(10)
+			}
+		})
+		if counter != 800 {
+			t.Fatalf("enabled=%v: counter = %d", enabled, counter)
+		}
+		if enabled && rt.SyncOps() < 800 {
+			t.Fatalf("sync ops = %d, want >= 800", rt.SyncOps())
+		}
+	}
+}
+
+func TestMutexMutualExclusion(t *testing.T) {
+	for _, enabled := range []bool{false, true} {
+		rt := New(enabled, 500)
+		var m Mutex
+		var inside, violations, total int64
+		rt.Run(4, func(th *Thread) {
+			for i := 0; i < 50; i++ {
+				th.Lock(&m)
+				// Critical section: plain variables, protected by m.
+				inside++
+				if inside != 1 {
+					violations++
+				}
+				total++
+				inside--
+				th.Unlock(&m)
+				th.Work(20)
+			}
+		})
+		if violations != 0 {
+			t.Fatalf("enabled=%v: %d mutual-exclusion violations", enabled, violations)
+		}
+		if total != 200 {
+			t.Fatalf("enabled=%v: total = %d", enabled, total)
+		}
+	}
+}
+
+func TestDeterministicInterleaving(t *testing.T) {
+	// Under deterministic scheduling, the interleaving of atomic updates
+	// (observed through a non-commutative fold) must be identical across
+	// runs for a fixed thread count.
+	run := func() int64 {
+		rt := New(true, 777)
+		var acc int64
+		rt.Run(4, func(th *Thread) {
+			for i := 0; i < 100; i++ {
+				th.syncPoint(func() bool {
+					acc = acc*31 + int64(th.ID()+1)
+					return true
+				})
+				th.Work(int64(10 * (th.ID() + 1)))
+			}
+		})
+		return acc
+	}
+	ref := run()
+	for i := 0; i < 3; i++ {
+		if got := run(); got != ref {
+			t.Fatalf("run %d: %x != %x — interleaving not deterministic", i, got, ref)
+		}
+	}
+}
+
+func TestQuantumAffectsInterleaving(t *testing.T) {
+	// The paper's criticism: the quantum is a tunable that changes the
+	// (deterministic) output. Demonstrate observability.
+	run := func(quantum int64) int64 {
+		rt := New(true, quantum)
+		var acc int64
+		rt.Run(4, func(th *Thread) {
+			for i := 0; i < 100; i++ {
+				th.AtomicAdd(&acc, 0) // serialize
+				th.syncPoint(func() bool { acc = acc*31 + int64(th.ID()+1); return true })
+				th.Work(int64(13 * (th.ID() + 1)))
+			}
+		})
+		return acc
+	}
+	if run(100) == run(10000) {
+		t.Log("note: two quanta produced the same fold (possible but unexpected)")
+	}
+}
+
+func TestBarrierRounds(t *testing.T) {
+	for _, enabled := range []bool{false, true} {
+		rt := New(enabled, 300)
+		b := NewBarrier(4)
+		// Phase counters: all threads must see phase p complete before
+		// any proceeds to p+1.
+		var arrivals [8]int64
+		rt.Run(4, func(th *Thread) {
+			for p := 0; p < 8; p++ {
+				th.AtomicAdd(&arrivals[p], 1)
+				th.BarrierWait(b)
+				if v := th.AtomicLoad(&arrivals[p]); v != 4 {
+					t.Errorf("enabled=%v: phase %d saw %d arrivals after barrier", enabled, p, v)
+				}
+				th.Work(50)
+			}
+		})
+	}
+}
+
+func TestCASSemantics(t *testing.T) {
+	for _, enabled := range []bool{false, true} {
+		rt := New(enabled, 200)
+		var slot int64
+		var wins int64
+		rt.Run(4, func(th *Thread) {
+			if th.AtomicCAS(&slot, 0, int64(th.ID()+1)) {
+				th.AtomicAdd(&wins, 1)
+			}
+			th.Work(10)
+		})
+		if wins != 1 {
+			t.Fatalf("enabled=%v: %d CAS winners", enabled, wins)
+		}
+		if enabled && slot != 1 {
+			// Deterministic round-robin: thread 0 always wins.
+			t.Fatalf("winner = %d, want thread 0 (deterministic order)", slot)
+		}
+	}
+}
+
+func TestMutexContentionProgress(t *testing.T) {
+	// Heavy contention on one lock with uneven hold times must still
+	// complete (no lost wakeups across rounds).
+	rt := New(true, 100)
+	var m Mutex
+	shared := int64(0)
+	rt.Run(8, func(th *Thread) {
+		for i := 0; i < 30; i++ {
+			th.Lock(&m)
+			shared++
+			th.Work(int64(1 + th.ID()*37))
+			th.Unlock(&m)
+		}
+	})
+	if shared != 240 {
+		t.Fatalf("shared = %d", shared)
+	}
+}
+
+func TestThreadExitReleasesOthers(t *testing.T) {
+	// Thread 0 exits immediately; others must still make progress.
+	rt := New(true, 100)
+	var done int64
+	rt.Run(4, func(th *Thread) {
+		if th.ID() == 0 {
+			return
+		}
+		for i := 0; i < 100; i++ {
+			th.AtomicAdd(&done, 1)
+			th.Work(30)
+		}
+	})
+	if done != 300 {
+		t.Fatalf("done = %d", done)
+	}
+}
+
+func TestUnlockByNonHolderPanics(t *testing.T) {
+	rt := New(true, 100)
+	panicked := make(chan bool, 1)
+	rt.Run(2, func(th *Thread) {
+		if th.ID() == 1 {
+			defer func() { panicked <- recover() != nil }()
+			var m Mutex
+			th.Unlock(&m)
+		}
+	})
+	if !<-panicked {
+		t.Fatal("unlock by non-holder did not panic")
+	}
+}

@@ -1,0 +1,48 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadCSR asserts the binary parser never panics and never accepts a
+// structurally invalid graph: whatever it returns must pass the same
+// validation WriteTo-produced graphs do.
+func FuzzReadCSR(f *testing.F) {
+	// Seed corpus: valid graphs of various shapes plus mutations.
+	for _, g := range []*CSR{
+		NewBuilder(0).Build(),
+		NewBuilder(3).Build(),
+		RandomKOut(10, 2, 1),
+		Symmetrize(RandomKOut(20, 3, 2)),
+	} {
+		var buf bytes.Buffer
+		g.WriteTo(&buf)
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{})
+	f.Add([]byte("GALOISGR garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadCSR(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted graphs must be structurally sound.
+		n := g.N()
+		if n < 0 {
+			t.Fatal("negative node count")
+		}
+		for u := 0; u < n; u++ {
+			lo, hi := g.EdgeRange(u)
+			if lo > hi || hi > int64(g.M()) {
+				t.Fatalf("bad edge range for %d: [%d,%d)", u, lo, hi)
+			}
+			for _, v := range g.Neighbors(u) {
+				if int(v) >= n {
+					t.Fatalf("edge target %d out of range", v)
+				}
+			}
+		}
+	})
+}

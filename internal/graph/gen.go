@@ -1,0 +1,134 @@
+package graph
+
+import (
+	"galois/internal/rng"
+)
+
+// RandomKOut generates the paper's random-graph input family (§4.2): n
+// nodes, each with k out-edges to uniformly random distinct targets
+// (excluding self-loops). The result is deterministic in (n, k, seed).
+//
+// The paper's bfs/mis input is RandomKOut(10M, 5) symmetrized; pfp uses
+// RandomKOut(2^23, 4) as a capacity network.
+func RandomKOut(n, k int, seed uint64) *CSR {
+	if k >= n {
+		panic("graph: RandomKOut requires k < n")
+	}
+	b := NewBuilder(n)
+	r := rng.New(seed)
+	targets := make([]uint32, 0, k)
+	for u := 0; u < n; u++ {
+		targets = targets[:0]
+	pick:
+		for len(targets) < k {
+			v := uint32(r.Uint64n(uint64(n)))
+			if int(v) == u {
+				continue
+			}
+			for _, w := range targets {
+				if w == v {
+					continue pick
+				}
+			}
+			targets = append(targets, v)
+		}
+		for _, v := range targets {
+			b.AddEdge(u, int(v))
+		}
+	}
+	return b.Build()
+}
+
+// Grid2D generates a 4-connected sqrt-n x sqrt-n torus-free grid. Useful as
+// a high-diameter contrast input for bfs and as a structured flow network.
+func Grid2D(side int) *CSR {
+	n := side * side
+	b := NewBuilder(n)
+	id := func(x, y int) int { return y*side + x }
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			if x+1 < side {
+				b.AddEdge(id(x, y), id(x+1, y))
+				b.AddEdge(id(x+1, y), id(x, y))
+			}
+			if y+1 < side {
+				b.AddEdge(id(x, y), id(x, y+1))
+				b.AddEdge(id(x, y+1), id(x, y))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Chain generates a path graph of n nodes (worst case for level-synchronous
+// parallelism; used in tests).
+func Chain(n int) *CSR {
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+		b.AddEdge(i+1, i)
+	}
+	return b.Build()
+}
+
+// RMAT generates a scale-free graph with 2^scale nodes and edgeFactor
+// edges per node using the R-MAT recursive quadrant model with the standard
+// (0.57, 0.19, 0.19, 0.05) parameters. Self-loops are kept out; parallel
+// edges may occur (callers wanting simple graphs should Symmetrize).
+func RMAT(scale, edgeFactor int, seed uint64) *CSR {
+	n := 1 << scale
+	m := n * edgeFactor
+	b := NewBuilder(n)
+	r := rng.New(seed)
+	const a, bb, c = 0.57, 0.19, 0.19
+	for e := 0; e < m; e++ {
+		u, v := 0, 0
+		for bit := scale - 1; bit >= 0; bit-- {
+			p := r.Float64()
+			switch {
+			case p < a:
+				// upper-left: nothing to add
+			case p < a+bb:
+				v |= 1 << bit
+			case p < a+bb+c:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u == v {
+			e--
+			continue
+		}
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}
+
+// Weighted pairs a CSR with per-edge weights (indexed like the edge array).
+type Weighted struct {
+	*CSR
+	// W[e] is the weight of edge index e (see EdgeRange).
+	W []uint32
+}
+
+// RandomWeighted generates a symmetrized random k-out graph with uniform
+// edge weights in [1, maxW]; the two directions of an undirected edge get
+// the same weight. Deterministic in the seed.
+func RandomWeighted(n, k int, maxW uint32, seed uint64) *Weighted {
+	g := Symmetrize(RandomKOut(n, k, seed))
+	w := make([]uint32, g.M())
+	for u := 0; u < g.N(); u++ {
+		lo, _ := g.EdgeRange(u)
+		for i, v := range g.Neighbors(u) {
+			a, b := uint64(u), uint64(v)
+			if a > b {
+				a, b = b, a
+			}
+			// Key on the undirected pair so both directions agree.
+			w[lo+int64(i)] = uint32(rng.Mix64(a<<32|b^seed)%uint64(maxW)) + 1
+		}
+	}
+	return &Weighted{CSR: g, W: w}
+}

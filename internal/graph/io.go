@@ -1,0 +1,125 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary format: magic, version, n, m (little-endian uint64), then n+1
+// offsets (int64) and m edges (uint32). Generating the paper's full-scale
+// inputs (10M nodes) takes longer than reading them back, so cmd users can
+// cache them on disk.
+const (
+	ioMagic   = 0x47414c4f49534752 // "GALOISGR"
+	ioVersion = 1
+)
+
+// WriteTo serializes g. It returns the number of bytes written.
+func (g *CSR) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var total int64
+	put := func(v uint64) error {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], v)
+		n, err := bw.Write(buf[:])
+		total += int64(n)
+		return err
+	}
+	for _, v := range []uint64{ioMagic, ioVersion, uint64(g.N()), uint64(g.M())} {
+		if err := put(v); err != nil {
+			return total, err
+		}
+	}
+	var buf8 [8]byte
+	for _, o := range g.offsets {
+		binary.LittleEndian.PutUint64(buf8[:], uint64(o))
+		n, err := bw.Write(buf8[:])
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	var buf4 [4]byte
+	for _, e := range g.edges {
+		binary.LittleEndian.PutUint32(buf4[:], e)
+		n, err := bw.Write(buf4[:])
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, bw.Flush()
+}
+
+// ReadCSR deserializes a graph written by WriteTo.
+func ReadCSR(r io.Reader) (*CSR, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	get := func() (uint64, error) {
+		var buf [8]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(buf[:]), nil
+	}
+	magic, err := get()
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	if magic != ioMagic {
+		return nil, fmt.Errorf("graph: bad magic %x", magic)
+	}
+	version, err := get()
+	if err != nil {
+		return nil, err
+	}
+	if version != ioVersion {
+		return nil, fmt.Errorf("graph: unsupported version %d", version)
+	}
+	n64, err := get()
+	if err != nil {
+		return nil, err
+	}
+	m64, err := get()
+	if err != nil {
+		return nil, err
+	}
+	const maxReasonable = 1 << 36
+	if n64 > maxReasonable || m64 > maxReasonable {
+		return nil, fmt.Errorf("graph: implausible sizes n=%d m=%d", n64, m64)
+	}
+	g := &CSR{
+		offsets: make([]int64, n64+1),
+		edges:   make([]uint32, m64),
+	}
+	var buf8 [8]byte
+	for i := range g.offsets {
+		if _, err := io.ReadFull(br, buf8[:]); err != nil {
+			return nil, fmt.Errorf("graph: reading offsets: %w", err)
+		}
+		g.offsets[i] = int64(binary.LittleEndian.Uint64(buf8[:]))
+	}
+	var buf4 [4]byte
+	for i := range g.edges {
+		if _, err := io.ReadFull(br, buf4[:]); err != nil {
+			return nil, fmt.Errorf("graph: reading edges: %w", err)
+		}
+		g.edges[i] = binary.LittleEndian.Uint32(buf4[:])
+	}
+	// Structural validation: offsets monotone and in range.
+	if g.offsets[0] != 0 || g.offsets[n64] != int64(m64) {
+		return nil, fmt.Errorf("graph: corrupt offset bounds")
+	}
+	for i := 0; i < int(n64); i++ {
+		if g.offsets[i] > g.offsets[i+1] {
+			return nil, fmt.Errorf("graph: offsets not monotone at %d", i)
+		}
+	}
+	for _, e := range g.edges {
+		if uint64(e) >= n64 {
+			return nil, fmt.Errorf("graph: edge target %d out of range", e)
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,84 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := Symmetrize(RandomKOut(500, 5, 3))
+	var buf bytes.Buffer
+	n, err := g.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadCSR(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != g.N() || got.M() != g.M() {
+		t.Fatalf("shape mismatch: %v vs %v", got, g)
+	}
+	for u := 0; u < g.N(); u++ {
+		a, b := g.Neighbors(u), got.Neighbors(u)
+		if len(a) != len(b) {
+			t.Fatalf("degree mismatch at %d", u)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("edge mismatch at %d[%d]", u, i)
+			}
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := ReadCSR(bytes.NewReader([]byte("not a graph at all........"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadCSR(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestReadRejectsTruncated(t *testing.T) {
+	g := RandomKOut(50, 3, 1)
+	var buf bytes.Buffer
+	g.WriteTo(&buf)
+	data := buf.Bytes()
+	for _, cut := range []int{8, 16, 32, len(data) / 2, len(data) - 1} {
+		if _, err := ReadCSR(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestReadRejectsCorruptOffsets(t *testing.T) {
+	g := RandomKOut(10, 2, 1)
+	var buf bytes.Buffer
+	g.WriteTo(&buf)
+	data := buf.Bytes()
+	// Corrupt the second offset (header is 32 bytes, offsets follow).
+	data[32+8] = 0xff
+	if _, err := ReadCSR(bytes.NewReader(data)); err == nil {
+		t.Fatal("corrupt offsets accepted")
+	}
+}
+
+func TestEmptyGraphRoundTrip(t *testing.T) {
+	g := NewBuilder(3).Build()
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSR(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 3 || got.M() != 0 {
+		t.Fatalf("shape %v", got)
+	}
+}

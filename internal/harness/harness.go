@@ -1,0 +1,307 @@
+// Package harness runs the paper's experiment matrix (§5): it generates
+// the benchmark inputs, dispatches app × variant × thread-count runs, and
+// renders each figure/table of the evaluation section. The cmd/repro
+// binary and the repository's benchmarks are thin wrappers over it.
+package harness
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"galois"
+	"galois/internal/apps/bfs"
+	"galois/internal/apps/dmr"
+	"galois/internal/apps/dt"
+	"galois/internal/apps/mis"
+	"galois/internal/apps/pfp"
+	"galois/internal/cachesim"
+	"galois/internal/geom"
+	"galois/internal/graph"
+	"galois/internal/para"
+	"galois/internal/stats"
+)
+
+// Scale sizes the benchmark inputs. The paper's inputs (§4.2) are the Full
+// scale; Default is about one-tenth of that so the whole matrix runs in
+// minutes; Small is for tests and smoke runs.
+type Scale struct {
+	Name      string
+	BFSNodes  int
+	BFSDegree int
+	DTPoints  int
+	DMRPoints int
+	PFPNodes  int
+	PFPDegree int
+	// PARSEC-side sizes (Figures 5 and 6).
+	BSOptions   int
+	BSRounds    int
+	BTParticles int
+	BTFrames    int
+	FMTxns      int
+	CavityTasks int
+	Reps        int
+	Seed        uint64
+}
+
+// SmallScale is for tests and smoke runs.
+func SmallScale() Scale {
+	return Scale{Name: "small", BFSNodes: 20_000, BFSDegree: 5,
+		DTPoints: 4_000, DMRPoints: 2_000, PFPNodes: 4_000, PFPDegree: 4,
+		BSOptions: 20_000, BSRounds: 2, BTParticles: 500, BTFrames: 10,
+		FMTxns: 3_000, CavityTasks: 500, Reps: 1, Seed: 42}
+}
+
+// DefaultScale runs the matrix in minutes on a laptop-class machine.
+func DefaultScale() Scale {
+	return Scale{Name: "default", BFSNodes: 1_000_000, BFSDegree: 5,
+		DTPoints: 120_000, DMRPoints: 60_000, PFPNodes: 1 << 17, PFPDegree: 4,
+		BSOptions: 500_000, BSRounds: 5, BTParticles: 4_000, BTFrames: 60,
+		FMTxns: 20_000, CavityTasks: 20_000, Reps: 3, Seed: 42}
+}
+
+// FullScale reproduces the paper's input sizes (§4.2). Budget accordingly.
+func FullScale() Scale {
+	return Scale{Name: "full", BFSNodes: 10_000_000, BFSDegree: 5,
+		DTPoints: 10_000_000, DMRPoints: 2_500_000, PFPNodes: 1 << 23, PFPDegree: 4,
+		BSOptions: 10_000_000, BSRounds: 10, BTParticles: 16_000, BTFrames: 260,
+		FMTxns: 250_000, CavityTasks: 500_000, Reps: 3, Seed: 42}
+}
+
+// ScaleByName resolves small/default/full.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "small":
+		return SmallScale(), nil
+	case "default", "":
+		return DefaultScale(), nil
+	case "full":
+		return FullScale(), nil
+	default:
+		return Scale{}, fmt.Errorf("harness: unknown scale %q (small|default|full)", name)
+	}
+}
+
+// Apps is the irregular-benchmark list in presentation order.
+var Apps = []string{"bfs", "dmr", "dt", "mis", "pfp"}
+
+// Variants of the irregular apps.
+var Variants = []string{"seq", "g-n", "g-d", "g-dnc", "pbbs"}
+
+// Inputs holds the generated inputs for one scale, shared across runs.
+// Median measurements are memoized so figures that revisit the same
+// app/variant/threads cell (7, 9, 10, 12 overlap heavily) reuse them.
+type Inputs struct {
+	sc       Scale
+	bfsGraph *graph.CSR
+	dtPoints []geom.Point
+	dmrPts   int
+	pfpNet   *pfp.Network
+	memo     map[string]Run
+}
+
+// MakeInputs generates all inputs for sc once.
+func MakeInputs(sc Scale) *Inputs {
+	return &Inputs{
+		sc:       sc,
+		bfsGraph: graph.Symmetrize(graph.RandomKOut(sc.BFSNodes, sc.BFSDegree, sc.Seed)),
+		dtPoints: geom.UniformPoints(sc.DTPoints, sc.Seed+1),
+		dmrPts:   sc.DMRPoints,
+		pfpNet:   pfp.RandomNetwork(sc.PFPNodes, sc.PFPDegree, 100, sc.Seed+2),
+		memo:     make(map[string]Run),
+	}
+}
+
+// Run is the result of one measured app run.
+type Run struct {
+	App, Variant string
+	Threads      int
+	Elapsed      time.Duration
+	Stats        stats.Stats
+	Fingerprint  uint64
+}
+
+// galoisOpts translates a variant name to scheduler options.
+func galoisOpts(variant string, threads int, profile *cachesim.Tracer) []galois.Option {
+	opts := []galois.Option{galois.WithThreads(threads)}
+	switch variant {
+	case "g-n":
+	case "g-d":
+		opts = append(opts, galois.WithSched(galois.Deterministic))
+	case "g-dnc":
+		opts = append(opts, galois.WithSched(galois.Deterministic), galois.WithoutContinuation())
+	default:
+		panic("harness: not a galois variant: " + variant)
+	}
+	if profile != nil {
+		opts = append(opts, galois.WithProfile(profile))
+	}
+	return opts
+}
+
+// RunOnce executes one app/variant/threads combination and returns the
+// measurement. profile may be nil; when set, abstract-location accesses are
+// traced for the §5.4 locality analysis (supported for the Galois variants
+// of all apps and the PBBS variants of dt/dmr).
+func (in *Inputs) RunOnce(app, variant string, threads int, profile *cachesim.Tracer) Run {
+	r := Run{App: app, Variant: variant, Threads: threads}
+	start := time.Now()
+	switch app {
+	case "bfs":
+		var res *bfs.Result
+		switch variant {
+		case "seq":
+			res = bfs.Seq(in.bfsGraph, 0)
+		case "pbbs":
+			res = bfs.PBBS(in.bfsGraph, 0, threads)
+		default:
+			res = bfs.Galois(in.bfsGraph, 0, galoisOpts(variant, threads, profile)...)
+		}
+		r.Stats = res.Stats
+		r.Fingerprint = res.Fingerprint()
+	case "mis":
+		var res *mis.Result
+		switch variant {
+		case "seq":
+			res = mis.Seq(in.bfsGraph)
+		case "pbbs":
+			res = mis.PBBS(in.bfsGraph, threads)
+		default:
+			res = mis.Galois(in.bfsGraph, galoisOpts(variant, threads, profile)...)
+		}
+		r.Stats = res.Stats
+		r.Fingerprint = res.Fingerprint()
+	case "dt":
+		var res *dt.Result
+		switch variant {
+		case "seq":
+			res = dt.Seq(in.dtPoints, in.sc.Seed+3)
+		case "pbbs":
+			res = dt.PBBSProfiled(in.dtPoints, in.sc.Seed+3, threads, 0, profile)
+		default:
+			res = dt.Galois(in.dtPoints, in.sc.Seed+3, galoisOpts(variant, threads, profile)...)
+		}
+		r.Stats = res.Stats
+		r.Fingerprint = res.Fingerprint()
+	case "dmr":
+		q := dmr.DefaultQuality()
+		root := dmr.MakeInput(in.dmrPts, in.sc.Seed+4)
+		start = time.Now() // exclude input construction
+		var res *dmr.Result
+		switch variant {
+		case "seq":
+			res = dmr.Seq(root, q)
+		case "pbbs":
+			res = dmr.PBBSProfiled(root, q, threads, 0, profile)
+		default:
+			res = dmr.Galois(root, q, galoisOpts(variant, threads, profile)...)
+		}
+		r.Stats = res.Stats
+		r.Fingerprint = res.Fingerprint()
+	case "pfp":
+		in.pfpNet.Reset()
+		start = time.Now()
+		var val int64
+		var st stats.Stats
+		switch variant {
+		case "seq":
+			val, st = pfp.Seq(in.pfpNet)
+		case "pbbs":
+			// The paper has no PBBS pfp variant (§4.1); callers
+			// should not request one.
+			panic("harness: pfp has no pbbs variant")
+		default:
+			val, st = pfp.Galois(in.pfpNet, galoisOpts(variant, threads, profile)...)
+		}
+		r.Stats = st
+		r.Fingerprint = uint64(val)
+	default:
+		panic("harness: unknown app " + app)
+	}
+	r.Elapsed = time.Since(start)
+	return r
+}
+
+// RunDetTuned runs the deterministic variant of app with explicit window
+// policy constants and/or the locality interleave disabled — the §3.3
+// ablation hooks for the benchmark suite. tb is only used to fail fast on
+// unknown apps.
+func (in *Inputs) RunDetTuned(tb testing.TB, app string, threads, winInit int, winTarget float64, noInterleave bool) {
+	opts := []galois.Option{galois.WithThreads(threads), galois.WithSched(galois.Deterministic)}
+	if winInit > 0 || winTarget > 0 {
+		opts = append(opts, galois.WithWindow(winInit, 0, winTarget))
+	}
+	if noInterleave {
+		opts = append(opts, galois.WithLocalityInterleave(false))
+	}
+	switch app {
+	case "bfs":
+		bfs.Galois(in.bfsGraph, 0, opts...)
+	case "mis":
+		mis.Galois(in.bfsGraph, opts...)
+	case "dt":
+		dt.Galois(in.dtPoints, in.sc.Seed+3, opts...)
+	case "dmr":
+		dmr.Galois(dmr.MakeInput(in.dmrPts, in.sc.Seed+4), dmr.DefaultQuality(), opts...)
+	case "pfp":
+		in.pfpNet.Reset()
+		pfp.Galois(in.pfpNet, opts...)
+	default:
+		tb.Fatalf("harness: unknown app %q", app)
+	}
+}
+
+// RunMedian repeats RunOnce sc.Reps times and returns the run with the
+// median elapsed time. Results are memoized per (app, variant, threads);
+// deterministic inputs make repeat measurements redundant across figures.
+func (in *Inputs) RunMedian(app, variant string, threads int) Run {
+	key := fmt.Sprintf("%s/%s/%d", app, variant, threads)
+	if r, ok := in.memo[key]; ok {
+		return r
+	}
+	reps := in.sc.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	runs := make([]Run, reps)
+	for i := range runs {
+		runs[i] = in.RunOnce(app, variant, threads, nil)
+	}
+	// Median by elapsed time (insertion sort, reps is tiny).
+	for i := 1; i < len(runs); i++ {
+		v := runs[i]
+		j := i - 1
+		for j >= 0 && runs[j].Elapsed > v.Elapsed {
+			runs[j+1] = runs[j]
+			j--
+		}
+		runs[j+1] = v
+	}
+	med := runs[len(runs)/2]
+	in.memo[key] = med
+	return med
+}
+
+// HasVariant reports whether app has the given variant.
+func HasVariant(app, variant string) bool {
+	if app == "pfp" && variant == "pbbs" {
+		return false
+	}
+	return true
+}
+
+// DefaultThreadSweep returns 1,2,4,...,GOMAXPROCS (always including the
+// max even if not a power of two).
+func DefaultThreadSweep() []int {
+	maxT := para.DefaultThreads()
+	var ts []int
+	for t := 1; t < maxT; t *= 2 {
+		ts = append(ts, t)
+	}
+	ts = append(ts, maxT)
+	// Dedup in case max is a power of two.
+	if len(ts) >= 2 && ts[len(ts)-1] == ts[len(ts)-2] {
+		ts = ts[:len(ts)-1]
+	}
+	return ts
+}

@@ -1,0 +1,152 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func smallInputs() *Inputs { return MakeInputs(SmallScale()) }
+
+func TestScaleByName(t *testing.T) {
+	for _, name := range []string{"small", "default", "full", ""} {
+		if _, err := ScaleByName(name); err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+	}
+	if _, err := ScaleByName("gigantic"); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+}
+
+func TestRunOnceAllCombos(t *testing.T) {
+	in := smallInputs()
+	for _, app := range Apps {
+		for _, variant := range Variants {
+			if !HasVariant(app, variant) {
+				continue
+			}
+			r := in.RunOnce(app, variant, 2, nil)
+			if r.Stats.Commits == 0 {
+				t.Fatalf("%s/%s: zero commits", app, variant)
+			}
+			if r.Elapsed <= 0 {
+				t.Fatalf("%s/%s: no elapsed time", app, variant)
+			}
+		}
+	}
+}
+
+func TestDeterministicVariantsAgreeAcrossThreads(t *testing.T) {
+	in := smallInputs()
+	for _, app := range Apps {
+		for _, variant := range []string{"g-d", "pbbs"} {
+			if !HasVariant(app, variant) {
+				continue
+			}
+			a := in.RunOnce(app, variant, 1, nil)
+			b := in.RunOnce(app, variant, 4, nil)
+			if a.Fingerprint != b.Fingerprint {
+				t.Fatalf("%s/%s: fingerprint differs across thread counts", app, variant)
+			}
+		}
+	}
+}
+
+func TestSemanticAgreementAcrossVariants(t *testing.T) {
+	// For confluent apps (bfs distances, dt mesh, pfp flow value, and
+	// mis/dmr validity-checked elsewhere) the seq fingerprint is the
+	// ground truth all variants must hit.
+	in := smallInputs()
+	for _, app := range []string{"bfs", "dt", "pfp"} {
+		want := in.RunOnce(app, "seq", 1, nil).Fingerprint
+		for _, variant := range []string{"g-n", "g-d", "g-dnc", "pbbs"} {
+			if !HasVariant(app, variant) {
+				continue
+			}
+			// bfs pbbs fingerprints include the parent tree, which
+			// seq does not compute; skip that one comparison.
+			if app == "bfs" && variant == "pbbs" {
+				continue
+			}
+			got := in.RunOnce(app, variant, 4, nil).Fingerprint
+			if got != want {
+				t.Fatalf("%s/%s: fingerprint %x != seq %x", app, variant, got, want)
+			}
+		}
+	}
+}
+
+func TestFiguresRenderAtSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure matrix is slow")
+	}
+	in := smallInputs()
+	threads := []int{1, 2}
+	for fig := 4; fig <= 12; fig++ {
+		var sb strings.Builder
+		if err := Figure(fig, in, threads, &sb); err != nil {
+			t.Fatalf("figure %d: %v", fig, err)
+		}
+		if !strings.Contains(sb.String(), "Figure") {
+			t.Fatalf("figure %d produced no output", fig)
+		}
+	}
+}
+
+func TestFigureRejectsUnknown(t *testing.T) {
+	in := smallInputs()
+	if err := Figure(3, in, []int{1}, &strings.Builder{}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestDefaultThreadSweep(t *testing.T) {
+	ts := DefaultThreadSweep()
+	if len(ts) == 0 || ts[0] != 1 {
+		t.Fatalf("sweep = %v", ts)
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			t.Fatalf("sweep not increasing: %v", ts)
+		}
+	}
+}
+
+func TestWindowTraceRenders(t *testing.T) {
+	in := smallInputs()
+	var sb strings.Builder
+	if err := WindowTrace(in, 2, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range Apps {
+		if !strings.Contains(sb.String(), app+":") {
+			t.Fatalf("window trace missing %s", app)
+		}
+	}
+}
+
+func TestExtensionsRenders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extensions comparison is slow")
+	}
+	in := smallInputs()
+	var sb strings.Builder
+	if err := Extensions(in, 2, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"maximal matching", "boruvka", "sssp"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("extensions output missing %q", want)
+		}
+	}
+}
+
+func TestRunDetTunedVariants(t *testing.T) {
+	in := smallInputs()
+	for _, app := range Apps {
+		in.RunDetTuned(t, "bfs", 2, 64, 0.9, true)
+		_ = app
+		break // one app suffices; the dispatch switch is the target
+	}
+	in.RunDetTuned(t, "pfp", 2, 0, 0, false)
+}

@@ -1,0 +1,23 @@
+package harness
+
+import (
+	"galois/internal/apps/bfs"
+	"galois/internal/apps/mis"
+	"galois/internal/coredet"
+)
+
+// pthreadBFS runs the pthread-style BFS on the shared bfs input.
+func pthreadBFS(in *Inputs, threads int, rt *coredet.Runtime) {
+	bfs.PThread(in.bfsGraph, 0, threads, rt)
+}
+
+// pthreadMIS runs the pthread-style MIS on the shared graph input.
+func pthreadMIS(in *Inputs, threads int, rt *coredet.Runtime) {
+	mis.PThread(in.bfsGraph, threads, rt)
+}
+
+// PThreadBFS exposes the pthread-style BFS for the benchmark suite.
+func PThreadBFS(in *Inputs, threads int, rt *coredet.Runtime) { pthreadBFS(in, threads, rt) }
+
+// PThreadMIS exposes the pthread-style MIS for the benchmark suite.
+func PThreadMIS(in *Inputs, threads int, rt *coredet.Runtime) { pthreadMIS(in, threads, rt) }

@@ -1,0 +1,62 @@
+// Package linreg provides ordinary least squares for the efficiency model
+// of the paper's §5.4 (Figure 12): eff_var = B0 + B1 * (PC_ref/PC_var) *
+// eff_ref. Fitting that model is a simple linear regression of eff_var
+// against the composite predictor x = (PC_ref/PC_var) * eff_ref; the
+// reported quantity is R².
+package linreg
+
+import "math"
+
+// Fit is an ordinary-least-squares fit y ≈ B0 + B1*x.
+type Fit struct {
+	B0, B1 float64
+	// R2 is the coefficient of determination.
+	R2 float64
+	// N is the number of points fitted.
+	N int
+}
+
+// OLS fits y against x. It panics on length mismatch; with fewer than two
+// points or zero variance in x it returns a degenerate fit (B1 = 0,
+// R2 = 0).
+func OLS(x, y []float64) Fit {
+	if len(x) != len(y) {
+		panic("linreg: length mismatch")
+	}
+	n := float64(len(x))
+	if len(x) < 2 {
+		return Fit{N: len(x)}
+	}
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx := x[i] - mx
+		dy := y[i] - my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{B0: my, N: len(x)}
+	}
+	b1 := sxy / sxx
+	b0 := my - b1*mx
+	var ssRes float64
+	for i := range x {
+		e := y[i] - (b0 + b1*x[i])
+		ssRes += e * e
+	}
+	r2 := 0.0
+	if syy > 0 {
+		r2 = 1 - ssRes/syy
+	}
+	if math.IsNaN(r2) || r2 < 0 {
+		r2 = 0
+	}
+	return Fit{B0: b0, B1: b1, R2: r2, N: len(x)}
+}

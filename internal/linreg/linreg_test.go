@@ -1,0 +1,73 @@
+package linreg
+
+import (
+	"math"
+	"testing"
+
+	"galois/internal/rng"
+)
+
+func TestPerfectLine(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{3, 5, 7, 9, 11} // y = 1 + 2x
+	f := OLS(x, y)
+	if math.Abs(f.B0-1) > 1e-12 || math.Abs(f.B1-2) > 1e-12 {
+		t.Fatalf("fit = %+v", f)
+	}
+	if math.Abs(f.R2-1) > 1e-12 {
+		t.Fatalf("R2 = %v, want 1", f.R2)
+	}
+}
+
+func TestNoisyLine(t *testing.T) {
+	r := rng.New(4)
+	var x, y []float64
+	for i := 0; i < 500; i++ {
+		xi := r.Float64() * 10
+		x = append(x, xi)
+		y = append(y, 2+3*xi+0.1*r.NormFloat64())
+	}
+	f := OLS(x, y)
+	if math.Abs(f.B1-3) > 0.05 || math.Abs(f.B0-2) > 0.1 {
+		t.Fatalf("fit = %+v", f)
+	}
+	if f.R2 < 0.99 {
+		t.Fatalf("R2 = %v", f.R2)
+	}
+}
+
+func TestUncorrelated(t *testing.T) {
+	r := rng.New(5)
+	var x, y []float64
+	for i := 0; i < 2000; i++ {
+		x = append(x, r.Float64())
+		y = append(y, r.Float64())
+	}
+	f := OLS(x, y)
+	if f.R2 > 0.02 {
+		t.Fatalf("R2 = %v for independent data", f.R2)
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	if f := OLS(nil, nil); f.N != 0 || f.R2 != 0 {
+		t.Fatalf("empty fit = %+v", f)
+	}
+	if f := OLS([]float64{1}, []float64{2}); f.R2 != 0 {
+		t.Fatalf("single-point fit = %+v", f)
+	}
+	// Zero variance in x.
+	f := OLS([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if f.B1 != 0 || math.Abs(f.B0-2) > 1e-12 {
+		t.Fatalf("constant-x fit = %+v", f)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	OLS([]float64{1}, []float64{1, 2})
+}

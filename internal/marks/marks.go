@@ -1,0 +1,123 @@
+// Package marks implements the mark words the Galois runtime associates with
+// abstract memory locations (paper §2, Figure 3).
+//
+// Every abstract location that tasks may conflict on embeds a Lockable. A
+// task attempt is represented by a Rec carrying the task's scheduling id.
+// The non-deterministic scheduler uses compare-and-set acquisition
+// (writeMarks in Figure 1b); the deterministic scheduler uses priority
+// acquisition where the highest id wins (writeMarksMax in Figure 3).
+//
+// The paper's mark value 0 — "unowned" — is represented by a nil *Rec.
+package marks
+
+import "sync/atomic"
+
+// Rec identifies one task attempt. Mark words point at the Rec of the task
+// currently owning the location.
+type Rec struct {
+	// ID is the task's deterministic scheduling id. IDs are totally
+	// ordered and strictly positive; ownership contests are resolved
+	// toward the maximum id. For the non-deterministic scheduler the id
+	// only needs to be unique.
+	ID uint64
+	// Prevented is set when another task stole one of this task's marks
+	// (or held one first with a higher id), meaning this task cannot be
+	// part of the round's independent set. It implements the flag
+	// described for the continuation optimization in §3.3.
+	Prevented atomic.Bool
+}
+
+// Reset prepares a Rec for reuse in a new round with the given id.
+func (r *Rec) Reset(id uint64) {
+	r.ID = id
+	r.Prevented.Store(false)
+}
+
+// Lockable is a mark word for one abstract location. The zero value is an
+// unowned mark. Data structures embed Lockable in every element that can be
+// part of a task neighborhood (graph nodes, mesh triangles, ...).
+type Lockable struct {
+	mark atomic.Pointer[Rec]
+}
+
+// Holder returns the Rec currently owning the location, or nil.
+func (l *Lockable) Holder() *Rec { return l.mark.Load() }
+
+// TryAcquire attempts CAS acquisition for rec, as in Figure 1b's writeMarks.
+// It returns (true, ops) on success or if rec already owns the location;
+// (false, ops) if another task owns it. ops is the number of atomic
+// operations performed, for the Figure 5 accounting.
+func (l *Lockable) TryAcquire(rec *Rec) (ok bool, ops int) {
+	cur := l.mark.Load()
+	if cur == rec {
+		return true, 1
+	}
+	if cur != nil {
+		return false, 1
+	}
+	if l.mark.CompareAndSwap(nil, rec) {
+		return true, 2
+	}
+	// Lost the race; re-check in case we raced with ourselves via an
+	// aliased acquire (cannot happen: one goroutine per task attempt),
+	// so this is a genuine conflict.
+	return false, 2
+}
+
+// Release clears the mark if rec owns it, as in the unlock path of
+// Figure 1b. Returns the number of atomic operations performed.
+func (l *Lockable) Release(rec *Rec) (ops int) {
+	if l.mark.Load() == rec {
+		l.mark.CompareAndSwap(rec, nil)
+		return 2
+	}
+	return 1
+}
+
+// WriteMax implements writeMarksMax from Figure 3 for a single location:
+// install rec unless the current owner has a higher id. Unlike TryAcquire it
+// never gives up early — determinism requires every task to contribute its
+// id to the max computation at every location in its neighborhood.
+//
+// Returns:
+//
+//	owned  — whether rec holds the location after the call,
+//	stole  — the Rec displaced by rec (nil if none), whose Prevented flag
+//	         the caller must set (continuation optimization, §3.3),
+//	ops    — atomic operations performed.
+func (l *Lockable) WriteMax(rec *Rec) (owned bool, stole *Rec, ops int) {
+	for {
+		cur := l.mark.Load()
+		ops++
+		if cur == rec {
+			return true, nil, ops
+		}
+		if cur != nil && cur.ID >= rec.ID {
+			// A higher-priority task holds the mark; rec loses
+			// this location. (Equal ids cannot occur across
+			// distinct Recs because ids are unique per round.)
+			return false, nil, ops
+		}
+		if l.mark.CompareAndSwap(cur, rec) {
+			ops++
+			return true, cur, ops
+		}
+		ops++
+		// Contention: someone else updated the mark; retry. The
+		// final outcome (max id) is unaffected by the interleaving.
+	}
+}
+
+// ClearIfOwner clears the mark if rec owns it. Used at the end of a
+// deterministic round; only the final owner's CAS succeeds, so every mark is
+// cleared exactly once. Returns the number of atomic operations performed.
+func (l *Lockable) ClearIfOwner(rec *Rec) (ops int) {
+	if l.mark.Load() == rec {
+		l.mark.CompareAndSwap(rec, nil)
+		return 2
+	}
+	return 1
+}
+
+// OwnedBy reports whether rec currently owns the location.
+func (l *Lockable) OwnedBy(rec *Rec) bool { return l.mark.Load() == rec }

@@ -1,0 +1,204 @@
+package marks
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"galois/internal/rng"
+)
+
+func TestTryAcquireRelease(t *testing.T) {
+	var l Lockable
+	a := &Rec{ID: 1}
+	b := &Rec{ID: 2}
+
+	if ok, _ := l.TryAcquire(a); !ok {
+		t.Fatal("acquire of free mark failed")
+	}
+	if ok, _ := l.TryAcquire(a); !ok {
+		t.Fatal("re-acquire by owner failed")
+	}
+	if ok, _ := l.TryAcquire(b); ok {
+		t.Fatal("acquire of held mark succeeded")
+	}
+	l.Release(a)
+	if l.Holder() != nil {
+		t.Fatal("release did not clear mark")
+	}
+	if ok, _ := l.TryAcquire(b); !ok {
+		t.Fatal("acquire after release failed")
+	}
+}
+
+func TestReleaseByNonOwnerIsNoop(t *testing.T) {
+	var l Lockable
+	a := &Rec{ID: 1}
+	b := &Rec{ID: 2}
+	l.TryAcquire(a)
+	l.Release(b)
+	if l.Holder() != a {
+		t.Fatal("release by non-owner changed the mark")
+	}
+}
+
+func TestWriteMaxBasics(t *testing.T) {
+	var l Lockable
+	lo := &Rec{ID: 1}
+	hi := &Rec{ID: 2}
+
+	owned, stole, _ := l.WriteMax(lo)
+	if !owned || stole != nil {
+		t.Fatalf("WriteMax on free mark: owned=%v stole=%v", owned, stole)
+	}
+	owned, stole, _ = l.WriteMax(hi)
+	if !owned || stole != lo {
+		t.Fatalf("higher id should steal: owned=%v stole=%v", owned, stole)
+	}
+	owned, stole, _ = l.WriteMax(lo)
+	if owned || stole != nil {
+		t.Fatalf("lower id should lose: owned=%v stole=%v", owned, stole)
+	}
+	if l.Holder() != hi {
+		t.Fatal("final holder is not the max id")
+	}
+	// Owner re-acquire is idempotent.
+	owned, stole, _ = l.WriteMax(hi)
+	if !owned || stole != nil {
+		t.Fatalf("owner re-acquire: owned=%v stole=%v", owned, stole)
+	}
+}
+
+func TestClearIfOwner(t *testing.T) {
+	var l Lockable
+	a := &Rec{ID: 1}
+	b := &Rec{ID: 2}
+	l.WriteMax(a)
+	l.WriteMax(b)
+	l.ClearIfOwner(a) // a no longer owns; must be a no-op
+	if l.Holder() != b {
+		t.Fatal("ClearIfOwner by non-owner cleared the mark")
+	}
+	l.ClearIfOwner(b)
+	if l.Holder() != nil {
+		t.Fatal("ClearIfOwner by owner did not clear")
+	}
+}
+
+// TestWriteMaxPermutationInvariance is the determinism core of the paper's
+// Figure 3: the final mark must be the maximum id regardless of the order
+// in which tasks write, including under true concurrency.
+func TestWriteMaxPermutationInvariance(t *testing.T) {
+	property := func(ids []uint64, seed uint64) bool {
+		if len(ids) == 0 {
+			return true
+		}
+		recs := make([]*Rec, len(ids))
+		var maxID uint64
+		for i, id := range ids {
+			id = id%1000 + 1 // nonzero, with collisions avoided below
+			recs[i] = &Rec{ID: id}
+		}
+		// De-duplicate ids (the protocol requires uniqueness).
+		seen := map[uint64]bool{}
+		for _, r := range recs {
+			for seen[r.ID] {
+				r.ID++
+			}
+			seen[r.ID] = true
+			if r.ID > maxID {
+				maxID = r.ID
+			}
+		}
+		var l Lockable
+		order := rng.New(seed).Perm(len(recs))
+		for _, i := range order {
+			l.WriteMax(recs[i])
+		}
+		return l.Holder() != nil && l.Holder().ID == maxID
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteMaxConcurrent(t *testing.T) {
+	const goroutines = 8
+	const perG = 200
+	var l Lockable
+	recs := make([][]*Rec, goroutines)
+	for g := range recs {
+		recs[g] = make([]*Rec, perG)
+		for i := range recs[g] {
+			recs[g][i] = &Rec{ID: uint64(g*perG+i) + 1}
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for _, r := range recs[g] {
+				l.WriteMax(r)
+			}
+		}(g)
+	}
+	wg.Wait()
+	want := uint64(goroutines * perG)
+	if h := l.Holder(); h == nil || h.ID != want {
+		t.Fatalf("final holder id = %v, want %d", h, want)
+	}
+}
+
+// TestWriteMaxPreventedCover verifies the continuation-optimization
+// invariant: after all writes, every rec that does not own all its marks is
+// either self-prevented (saw a higher id) or was stolen from (Prevented set
+// by the stealer) — so "Prevented clear" == "owns everything it touched".
+func TestWriteMaxPreventedCover(t *testing.T) {
+	const nlocs = 20
+	const ntasks = 50
+	r := rng.New(42)
+	for trial := 0; trial < 50; trial++ {
+		locs := make([]Lockable, nlocs)
+		recs := make([]*Rec, ntasks)
+		touched := make([][]int, ntasks)
+		for i := range recs {
+			recs[i] = &Rec{ID: uint64(i) + 1}
+			n := 1 + r.Intn(4)
+			for j := 0; j < n; j++ {
+				touched[i] = append(touched[i], r.Intn(nlocs))
+			}
+		}
+		var wg sync.WaitGroup
+		for i := range recs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for _, li := range touched[i] {
+					owned, stole, _ := locs[li].WriteMax(recs[i])
+					if owned {
+						if stole != nil {
+							stole.Prevented.Store(true)
+						}
+					} else {
+						recs[i].Prevented.Store(true)
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+		for i := range recs {
+			ownsAll := true
+			for _, li := range touched[i] {
+				if !locs[li].OwnedBy(recs[i]) {
+					ownsAll = false
+					break
+				}
+			}
+			if ownsAll == recs[i].Prevented.Load() {
+				t.Fatalf("trial %d task %d: ownsAll=%v prevented=%v",
+					trial, i, ownsAll, recs[i].Prevented.Load())
+			}
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package mesh
+
+import "galois/internal/geom"
+
+// NewSuperTriangle returns a one-triangle mesh whose triangle comfortably
+// contains the unit square (and any point set scaled into it). Incremental
+// Delaunay insertion into it yields the Delaunay triangulation of the
+// points plus the three far-away super vertices; interior triangles (those
+// not touching a super vertex) are reported as the result.
+func NewSuperTriangle() *Element {
+	const k = 1e4
+	return NewTriangle(
+		geom.Point{X: -k, Y: -k},
+		geom.Point{X: 3 * k, Y: -k},
+		geom.Point{X: -k, Y: 3 * k},
+	)
+}
+
+// SuperVertices returns the vertices of NewSuperTriangle, for filtering.
+func SuperVertices() [3]geom.Point {
+	t := NewSuperTriangle()
+	return t.Pts
+}
+
+// IsSuperVertex reports whether p is a vertex of the super-triangle.
+func IsSuperVertex(p geom.Point) bool {
+	for _, s := range SuperVertices() {
+		if p == s {
+			return true
+		}
+	}
+	return false
+}
+
+// NewUnitSquare returns a unit-square domain triangulated with two
+// triangles and guarded by four boundary segments — the starting mesh for
+// Delaunay refinement inputs. The returned element is one of the triangles.
+func NewUnitSquare() *Element {
+	p00 := geom.Point{X: 0, Y: 0}
+	p10 := geom.Point{X: 1, Y: 0}
+	p11 := geom.Point{X: 1, Y: 1}
+	p01 := geom.Point{X: 0, Y: 1}
+	t1 := NewTriangle(p00, p10, p11)
+	t2 := NewTriangle(p00, p11, p01)
+	Wire(t1, t2, p00, p11)
+	for _, s := range [][2]geom.Point{{p00, p10}, {p10, p11}} {
+		seg := NewSegment(s[0], s[1])
+		Wire(t1, seg, s[0], s[1])
+	}
+	for _, s := range [][2]geom.Point{{p11, p01}, {p01, p00}} {
+		seg := NewSegment(s[0], s[1])
+		Wire(t2, seg, s[0], s[1])
+	}
+	return t1
+}
+
+// InsertPointSeq inserts p into the mesh sequentially (no synchronization):
+// locate from the hint element, build the Bowyer–Watson cavity, and
+// retriangulate. It returns a new hint (one of the created triangles) and
+// whether the point was inserted (false for duplicates of existing
+// vertices). Used to build inputs and as the dt/dmr sequential baseline
+// building block.
+func InsertPointSeq(hint *Element, p geom.Point) (newHint *Element, inserted bool) {
+	t, onVertex := Locate(hint, p, NoAcquire)
+	if onVertex {
+		return t, false
+	}
+	cav := BuildInsertion(t, p, NoAcquire)
+	created := cav.Retriangulate(nil)
+	return created[0], true
+}
+
+// BuildDelaunaySeq triangulates pts (sequentially, in the given order,
+// which callers typically BRIO/Hilbert order first) into the mesh rooted at
+// root. It returns a live element of the final mesh and the number of
+// points actually inserted.
+func BuildDelaunaySeq(root *Element, pts []geom.Point) (*Element, int) {
+	hint := root
+	inserted := 0
+	for _, p := range pts {
+		var ok bool
+		hint, ok = InsertPointSeq(hint, p)
+		if ok {
+			inserted++
+		}
+	}
+	return hint, inserted
+}

@@ -1,0 +1,238 @@
+package mesh
+
+import (
+	"fmt"
+
+	"galois/internal/geom"
+)
+
+// frontEdge is one edge of the cavity boundary: the new point is joined to
+// (u, v), and the resulting triangle is wired to outside (a surviving
+// triangle, a boundary segment, or nil on the outer hull).
+type frontEdge struct {
+	u, v    geom.Point
+	outside *Element
+}
+
+// Cavity describes one mesh update: the elements to remove (Members), the
+// boundary to re-join (frontier) and the point to insert (Center). For a
+// boundary-segment split, SplitSeg is the segment being replaced and Center
+// its midpoint.
+//
+// Building a cavity only reads the mesh; Retriangulate performs all writes.
+// This split is what lets the same code run speculatively (reads acquire
+// locks as they happen) and deterministically (reads mark the interference
+// graph in the inspect phase, writes run in the commit phase).
+type Cavity struct {
+	Center   geom.Point
+	SplitSeg *Element
+	Members  []*Element
+	frontier []frontEdge
+}
+
+func (c *Cavity) hasMember(e *Element) bool {
+	for _, m := range c.Members {
+		if m == e {
+			return true
+		}
+	}
+	return false
+}
+
+// expand grows the cavity from seed to the full conflict region of
+// c.Center: the connected set of triangles whose circumcircle strictly
+// contains the center (which is exactly the Bowyer–Watson cavity, and is
+// connected in a Delaunay mesh). Frontier elements are acquired because
+// Retriangulate rewires them.
+//
+// If stopOnEncroach is true and the region's boundary reaches a domain
+// segment whose diametral circle contains the center, expansion stops and
+// the offending segment is returned — Ruppert's rule that an encroaching
+// circumcenter must not be inserted.
+func (c *Cavity) expand(seed *Element, acq Acquirer, stopOnEncroach bool) (encroached *Element) {
+	c.Members = append(c.Members, seed)
+	for scan := len(c.Members) - 1; scan < len(c.Members); scan++ {
+		e := c.Members[scan]
+		for i := 0; i < 3; i++ {
+			u, v := e.Edge(i)
+			nb := e.adj[i]
+			if nb == nil {
+				c.frontier = append(c.frontier, frontEdge{u: u, v: v})
+				continue
+			}
+			acq(nb)
+			if nb.IsSegment() {
+				if stopOnEncroach && nb != c.SplitSeg &&
+					geom.InDiametralCircle(nb.Pts[0], nb.Pts[1], c.Center) {
+					return nb
+				}
+				c.frontier = append(c.frontier, frontEdge{u: u, v: v, outside: nb})
+				continue
+			}
+			if c.hasMember(nb) {
+				continue
+			}
+			if nb.InCircumcircle(c.Center) {
+				c.Members = append(c.Members, nb)
+				continue
+			}
+			c.frontier = append(c.frontier, frontEdge{u: u, v: v, outside: nb})
+		}
+	}
+	return nil
+}
+
+// BuildInsertion builds the Bowyer–Watson insertion cavity for point p,
+// whose containing triangle is t (from Locate). Used by Delaunay
+// triangulation, where points lie strictly inside the (super-)triangulated
+// domain.
+func BuildInsertion(t *Element, p geom.Point, acq Acquirer) *Cavity {
+	c := &Cavity{Center: p}
+	c.expand(t, acq, false)
+	return c
+}
+
+// BuildSegmentSplit builds the cavity that replaces boundary segment s with
+// two half-segments and inserts its midpoint. The caller must have acquired
+// s (it arrives through cavity expansion or a refinement walk, which do).
+func BuildSegmentSplit(s *Element, acq Acquirer) *Cavity {
+	mid := geom.Midpoint(s.Pts[0], s.Pts[1])
+	c := &Cavity{Center: mid, SplitSeg: s}
+	c.Members = append(c.Members, s)
+	inner := s.adj[0]
+	acq(inner)
+	c.expand(inner, acq, false)
+	return c
+}
+
+// BuildRefinement builds the cavity for fixing the bad triangle bad: insert
+// its circumcenter, unless the circumcenter lies outside the domain or
+// encroaches a boundary segment, in which case the offending segment is
+// split instead (Ruppert/Chew, as in the Lonestar dmr code). The caller
+// must have acquired bad and verified it is alive.
+func BuildRefinement(bad *Element, acq Acquirer) *Cavity {
+	center := bad.Circumcenter()
+	tri, blocked := walkToward(bad, center, acq)
+	if blocked != nil {
+		// The center lies beyond this boundary segment; split it.
+		return BuildSegmentSplit(blocked, acq)
+	}
+	c := &Cavity{Center: center}
+	if encroached := c.expand(tri, acq, true); encroached != nil {
+		return BuildSegmentSplit(encroached, acq)
+	}
+	return c
+}
+
+// Retriangulate applies the cavity to the mesh: kills the members, creates
+// the star of Center over the frontier (plus split segments), rewires
+// adjacency on both sides, and — when pts is non-nil — redistributes the
+// members' associated point indices into the new triangles (skipping any
+// index whose point equals the inserted center). It returns the created
+// elements, triangles first.
+//
+// The caller must hold every member and frontier element; under the
+// deterministic scheduler that is guaranteed by having built the cavity
+// through the inspect phase's Acquirer.
+func (c *Cavity) Retriangulate(pts []geom.Point) (created []*Element) {
+	// Map star edges (shared between consecutive new triangles) for
+	// internal wiring: key is the undirected pair, value the first new
+	// triangle seen with that edge.
+	type pair struct{ a, b geom.Point }
+	norm := func(a, b geom.Point) pair {
+		if a.X > b.X || (a.X == b.X && a.Y > b.Y) {
+			a, b = b, a
+		}
+		return pair{a, b}
+	}
+	half := make(map[pair]*Element, 2*len(c.frontier))
+	wireStar := func(t *Element, a, b geom.Point) {
+		k := norm(a, b)
+		if other, ok := half[k]; ok {
+			Wire(t, other, a, b)
+			delete(half, k)
+		} else {
+			half[k] = t
+		}
+	}
+
+	var splitU, splitV geom.Point
+	sawSplitEdge := false
+	for _, fe := range c.frontier {
+		if geom.Orient(fe.u, fe.v, c.Center) <= 0 {
+			// Degenerate star edge: the center lies on this
+			// frontier edge. Legal only for the segment being
+			// split (its midpoint is on it by construction).
+			if c.SplitSeg == nil || fe.outside != c.SplitSeg {
+				panic(fmt.Sprintf("mesh: center %v collinear with frontier edge (%v,%v)",
+					c.Center, fe.u, fe.v))
+			}
+			splitU, splitV = fe.u, fe.v
+			sawSplitEdge = true
+			continue
+		}
+		t := NewTriangle(fe.u, fe.v, c.Center)
+		created = append(created, t)
+		// Outer side.
+		if fe.outside != nil {
+			Wire(t, fe.outside, fe.u, fe.v)
+		}
+		// Inner (star) sides.
+		wireStar(t, fe.v, c.Center)
+		wireStar(t, c.Center, fe.u)
+	}
+	if c.SplitSeg != nil {
+		if !sawSplitEdge {
+			panic("mesh: segment split cavity lost its segment edge")
+		}
+		s1 := NewSegment(splitU, c.Center)
+		s2 := NewSegment(c.Center, splitV)
+		// Wire each half-segment to the unique star triangle sharing
+		// its edge (left unpaired in the half map).
+		for _, s := range []*Element{s1, s2} {
+			k := norm(s.Pts[0], s.Pts[1])
+			t, ok := half[k]
+			if !ok {
+				panic("mesh: no star triangle for split segment half")
+			}
+			Wire(t, s, s.Pts[0], s.Pts[1])
+			delete(half, k)
+		}
+		created = append(created, s1, s2)
+	}
+	if len(created) == 0 {
+		panic("mesh: retriangulation created no elements")
+	}
+
+	// Kill members and set forwarding pointers.
+	repl := created[0]
+	for _, m := range c.Members {
+		m.Dead = true
+		m.Repl = repl
+	}
+
+	// Redistribute associated points among the new triangles.
+	if pts != nil {
+		for _, m := range c.Members {
+			for _, idx := range m.Assoc {
+				p := pts[idx]
+				if p == c.Center {
+					continue // now inserted
+				}
+				placed := false
+				for _, t := range created {
+					if !t.IsSegment() && t.Contains(p) {
+						t.Assoc = append(t.Assoc, idx)
+						placed = true
+						break
+					}
+				}
+				if !placed {
+					panic("mesh: associated point fell outside its cavity")
+				}
+			}
+			m.Assoc = nil
+		}
+	}
+	return created
+}

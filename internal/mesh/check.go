@@ -1,0 +1,178 @@
+package mesh
+
+import (
+	"fmt"
+	"sort"
+
+	"galois/internal/geom"
+)
+
+// Live enumerates all live elements reachable from root (following
+// forwarding pointers first if root is dead): the full mesh, since
+// triangulations are edge-connected. Triangles and segments are both
+// included.
+func Live(root *Element) []*Element {
+	for root.Dead {
+		root = root.Repl
+	}
+	seen := map[*Element]bool{root: true}
+	queue := []*Element{root}
+	var out []*Element
+	for len(queue) > 0 {
+		e := queue[0]
+		queue = queue[1:]
+		out = append(out, e)
+		for i := 0; i < e.NEdges(); i++ {
+			nb := e.adj[i]
+			if nb == nil || seen[nb] {
+				continue
+			}
+			seen[nb] = true
+			queue = append(queue, nb)
+		}
+	}
+	return out
+}
+
+// Triangles filters Live down to triangles.
+func Triangles(root *Element) []*Element {
+	var out []*Element
+	for _, e := range Live(root) {
+		if !e.IsSegment() {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// CheckConforming validates the structural invariants of the mesh rooted at
+// root: no dead elements reachable, triangles counterclockwise, adjacency
+// symmetric, every interior edge shared by exactly two triangles, every
+// segment wired to exactly one triangle.
+func CheckConforming(root *Element) error {
+	for _, e := range Live(root) {
+		if e.Dead {
+			return fmt.Errorf("mesh: dead element %v reachable", e)
+		}
+		if !e.IsSegment() {
+			if geom.Orient(e.Pts[0], e.Pts[1], e.Pts[2]) <= 0 {
+				return fmt.Errorf("mesh: triangle %v not counterclockwise", e)
+			}
+		}
+		for i := 0; i < e.NEdges(); i++ {
+			u, v := e.Edge(i)
+			nb := e.adj[i]
+			if nb == nil {
+				if e.IsSegment() {
+					return fmt.Errorf("mesh: segment %v missing inner triangle", e)
+				}
+				continue // outer hull edge (super-triangle meshes)
+			}
+			if nb.Dead {
+				return fmt.Errorf("mesh: %v adjacent to dead %v", e, nb)
+			}
+			j := nb.EdgeIndex(u, v)
+			if j < 0 {
+				return fmt.Errorf("mesh: %v and neighbor %v share no edge (%v,%v)", e, nb, u, v)
+			}
+			if nb.adj[j] != e {
+				return fmt.Errorf("mesh: asymmetric adjacency between %v and %v", e, nb)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckDelaunay verifies the empty-circumcircle property via the local
+// Delaunay criterion: for every interior edge, the vertex opposite the edge
+// in each neighbor lies on or outside the circumcircle of the other
+// triangle. Local Delaunayhood of every edge implies the global property.
+func CheckDelaunay(root *Element) error {
+	for _, e := range Triangles(root) {
+		for i := 0; i < 3; i++ {
+			nb := e.adj[i]
+			if nb == nil || nb.IsSegment() {
+				continue
+			}
+			u, v := e.Edge(i)
+			opp, ok := oppositeVertex(nb, u, v)
+			if !ok {
+				return fmt.Errorf("mesh: neighbor %v lost shared edge of %v", nb, e)
+			}
+			if geom.InCircle(e.Pts[0], e.Pts[1], e.Pts[2], opp) > 0 {
+				return fmt.Errorf("mesh: edge (%v,%v) of %v is not locally Delaunay (opp %v)", u, v, e, opp)
+			}
+		}
+	}
+	return nil
+}
+
+func oppositeVertex(t *Element, u, v geom.Point) (geom.Point, bool) {
+	for i := 0; i < 3; i++ {
+		if t.Pts[i] != u && t.Pts[i] != v {
+			return t.Pts[i], true
+		}
+	}
+	return geom.Point{}, false
+}
+
+// CheckNoBad verifies that no live triangle violates the quality bound
+// (with the same floor semantics as Element.IsBad).
+func CheckNoBad(root *Element, cosBound, minEdge2 float64) error {
+	for _, e := range Triangles(root) {
+		if e.IsBad(cosBound, minEdge2) {
+			return fmt.Errorf("mesh: bad triangle survived refinement: %v", e)
+		}
+	}
+	return nil
+}
+
+// Fingerprint returns a canonical hash of the mesh rooted at root: the
+// sorted multiset of triangle vertex triples (optionally excluding
+// triangles touching super vertices). Identical meshes — regardless of
+// construction order or element identity — hash identically.
+func Fingerprint(root *Element, excludeSuper bool) uint64 {
+	var keys []string
+	for _, e := range Triangles(root) {
+		if excludeSuper && (IsSuperVertex(e.Pts[0]) || IsSuperVertex(e.Pts[1]) || IsSuperVertex(e.Pts[2])) {
+			continue
+		}
+		keys = append(keys, canonicalTriangle(e))
+	}
+	sort.Strings(keys)
+	var h uint64 = 14695981039346656037
+	for _, k := range keys {
+		for i := 0; i < len(k); i++ {
+			h ^= uint64(k[i])
+			h *= 1099511628211
+		}
+		h ^= 0xff
+		h *= 1099511628211
+	}
+	return h
+}
+
+func canonicalTriangle(e *Element) string {
+	pts := []geom.Point{e.Pts[0], e.Pts[1], e.Pts[2]}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].X != pts[j].X {
+			return pts[i].X < pts[j].X
+		}
+		return pts[i].Y < pts[j].Y
+	})
+	return fmt.Sprintf("%x,%x;%x,%x;%x,%x",
+		pts[0].X, pts[0].Y, pts[1].X, pts[1].Y, pts[2].X, pts[2].Y)
+}
+
+// CountTriangles returns the number of live triangles (excluding super
+// triangles if requested).
+func CountTriangles(root *Element, excludeSuper bool) int {
+	n := 0
+	for _, e := range Triangles(root) {
+		if excludeSuper && (IsSuperVertex(e.Pts[0]) || IsSuperVertex(e.Pts[1]) || IsSuperVertex(e.Pts[2])) {
+			continue
+		}
+		n++
+	}
+	return n
+}

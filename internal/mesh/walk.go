@@ -1,0 +1,98 @@
+package mesh
+
+import "galois/internal/geom"
+
+// Acquirer is the hook through which walk and cavity construction report
+// every element they read or will write. The Galois variants pass
+// Ctx.Acquire; sequential code passes NoAcquire. Reporting happens before
+// the element is used, which is exactly the cautious-task protocol.
+type Acquirer func(*Element)
+
+// NoAcquire is the no-op Acquirer for sequential execution.
+func NoAcquire(*Element) {}
+
+// maxWalkSteps bounds locate walks; exceeding it indicates a corrupted
+// mesh, which is a bug, not an input condition.
+const maxWalkSteps = 1 << 24
+
+// Resolve follows forwarding pointers from e (which may be a stale, dead
+// element held by a retried task) to a live element, acquiring every
+// element on the chain.
+func Resolve(e *Element, acq Acquirer) *Element {
+	acq(e)
+	for e.Dead {
+		e = e.Repl
+		acq(e)
+	}
+	return e
+}
+
+// Locate walks from start to a triangle containing p, acquiring every
+// visited element. It returns onVertex = true if p coincides with an
+// existing mesh vertex (the caller should treat the point as a duplicate).
+// Locate panics if the walk leaves the triangulated domain: dt meshes are
+// bounded by an all-containing super-triangle and dmr points lie inside the
+// boundary, so escape indicates a bug or a bad input point.
+func Locate(start *Element, p geom.Point, acq Acquirer) (t *Element, onVertex bool) {
+	e := Resolve(start, acq)
+	for steps := 0; steps < maxWalkSteps; steps++ {
+		if e.IsSegment() {
+			// Stale-start resolution can land on a segment's
+			// forwarding chain; hop to its inner triangle.
+			e = e.adj[0]
+			acq(e)
+			continue
+		}
+		if e.HasVertex(p) {
+			return e, true
+		}
+		crossed := -1
+		for i := 0; i < 3; i++ {
+			u, v := e.Edge(i)
+			if geom.Orient(u, v, p) < 0 {
+				crossed = i
+				break
+			}
+		}
+		if crossed == -1 {
+			return e, false
+		}
+		nb := e.adj[crossed]
+		if nb == nil || nb.IsSegment() {
+			panic("mesh: Locate walked out of the domain")
+		}
+		acq(nb)
+		e = nb
+	}
+	panic("mesh: Locate did not terminate")
+}
+
+// walkToward walks from the triangle e toward target until reaching a
+// triangle that contains it. If the walk would cross the domain boundary,
+// it returns the boundary segment instead (blocked), signalling that the
+// target lies outside — the encroachment case of refinement.
+func walkToward(e *Element, target geom.Point, acq Acquirer) (tri, blocked *Element) {
+	for steps := 0; steps < maxWalkSteps; steps++ {
+		crossed := -1
+		for i := 0; i < 3; i++ {
+			u, v := e.Edge(i)
+			if geom.Orient(u, v, target) < 0 {
+				crossed = i
+				break
+			}
+		}
+		if crossed == -1 {
+			return e, nil
+		}
+		nb := e.adj[crossed]
+		if nb == nil {
+			panic("mesh: refinement walk escaped an unbounded mesh")
+		}
+		acq(nb)
+		if nb.IsSegment() {
+			return nil, nb
+		}
+		e = nb
+	}
+	panic("mesh: walkToward did not terminate")
+}

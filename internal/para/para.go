@@ -1,0 +1,157 @@
+// Package para provides the thread-pool substrate used by both schedulers:
+// a fixed set of workers, a reusable barrier, and parallel-for loops with
+// deterministic-output chunked partitioning (the `doall` of Figure 3).
+package para
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultThreads returns the default worker count: GOMAXPROCS.
+func DefaultThreads() int { return runtime.GOMAXPROCS(0) }
+
+// For runs body(tid, i) for every i in [0, n) using nthreads goroutines.
+// Iterations are distributed dynamically in chunks; the assignment of
+// iterations to threads is non-deterministic but every iteration runs
+// exactly once. Deterministic schedulers may use it freely for phases whose
+// outcome is order-independent.
+func For(nthreads, n int, body func(tid, i int)) {
+	ForChunked(nthreads, n, 64, body)
+}
+
+// ForChunked is For with an explicit chunk size.
+func ForChunked(nthreads, n, chunk int, body func(tid, i int)) {
+	if n == 0 {
+		return
+	}
+	if nthreads <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			body(0, i)
+		}
+		return
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	workers := nthreads
+	if workers > n {
+		workers = n
+	}
+	wg.Add(workers)
+	for t := 0; t < workers; t++ {
+		go func(tid int) {
+			defer wg.Done()
+			for {
+				start := int(next.Add(int64(chunk))) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					body(tid, i)
+				}
+			}
+		}(t)
+	}
+	wg.Wait()
+}
+
+// ForBlocked runs body(tid, lo, hi) over a static block partition of [0, n):
+// thread tid receives one contiguous range. Useful when per-thread
+// sequential order within a block matters or when the body amortizes work
+// across its whole range.
+func ForBlocked(nthreads, n int, body func(tid, lo, hi int)) {
+	if n == 0 {
+		return
+	}
+	if nthreads <= 1 {
+		body(0, 0, n)
+		return
+	}
+	workers := nthreads
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	per := n / workers
+	rem := n % workers
+	lo := 0
+	for t := 0; t < workers; t++ {
+		hi := lo + per
+		if t < rem {
+			hi++
+		}
+		go func(tid, lo, hi int) {
+			defer wg.Done()
+			body(tid, lo, hi)
+		}(t, lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}
+
+// Run spawns nthreads workers running body(tid) and waits for all of them.
+// This is the backbone of the persistent-worker scheduler loops.
+func Run(nthreads int, body func(tid int)) {
+	if nthreads <= 1 {
+		body(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(nthreads)
+	for t := 0; t < nthreads; t++ {
+		go func(tid int) {
+			defer wg.Done()
+			body(tid)
+		}(t)
+	}
+	wg.Wait()
+}
+
+// Barrier is a reusable sense-reversing barrier for a fixed number of
+// parties. It underlies the `barrier` statements in Figure 2.
+type Barrier struct {
+	parties int32
+	count   atomic.Int32
+	sense   atomic.Uint32
+}
+
+// NewBarrier returns a barrier for parties participants.
+func NewBarrier(parties int) *Barrier {
+	return &Barrier{parties: int32(parties)}
+}
+
+// Wait blocks until all parties have called Wait for the current phase.
+// The last arriving party releases the others. Spin-then-yield waiting keeps
+// latency low for the short phases of DIG rounds; when there are fewer
+// processors than parties, spinning only steals cycles from the stragglers,
+// so waiters yield immediately.
+func (b *Barrier) Wait() {
+	if b.parties <= 1 {
+		return
+	}
+	spinLimit := 64
+	if runtime.GOMAXPROCS(0) < int(b.parties) {
+		spinLimit = 0
+	}
+	sense := b.sense.Load()
+	if b.count.Add(1) == b.parties {
+		b.count.Store(0)
+		b.sense.Store(sense + 1)
+		return
+	}
+	for spins := 0; b.sense.Load() == sense; spins++ {
+		if spins < spinLimit {
+			continue
+		}
+		runtime.Gosched()
+	}
+}

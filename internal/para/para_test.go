@@ -1,0 +1,106 @@
+package para
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIterations(t *testing.T) {
+	for _, threads := range []int{1, 2, 8} {
+		for _, n := range []int{0, 1, 7, 100, 1000} {
+			seen := make([]atomic.Int32, n)
+			For(threads, n, func(tid, i int) { seen[i].Add(1) })
+			for i := range seen {
+				if got := seen[i].Load(); got != 1 {
+					t.Fatalf("threads=%d n=%d: iteration %d ran %d times", threads, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForChunkedSmallChunk(t *testing.T) {
+	var sum atomic.Int64
+	ForChunked(4, 1000, 1, func(tid, i int) { sum.Add(int64(i)) })
+	if got := sum.Load(); got != 499500 {
+		t.Fatalf("sum = %d, want 499500", got)
+	}
+}
+
+func TestForBlockedPartition(t *testing.T) {
+	for _, threads := range []int{1, 3, 8} {
+		for _, n := range []int{0, 1, 10, 101} {
+			covered := make([]atomic.Int32, n)
+			ForBlocked(threads, n, func(tid, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					covered[i].Add(1)
+				}
+			})
+			for i := range covered {
+				if covered[i].Load() != 1 {
+					t.Fatalf("threads=%d n=%d: index %d covered %d times", threads, n, i, covered[i].Load())
+				}
+			}
+		}
+	}
+}
+
+func TestForBlockedBalance(t *testing.T) {
+	// Block sizes must differ by at most one.
+	sizes := map[int]int{}
+	var mu sync.Mutex
+	ForBlocked(7, 100, func(tid, lo, hi int) {
+		mu.Lock()
+		sizes[tid] = hi - lo
+		mu.Unlock()
+	})
+	minS, maxS := 1<<30, 0
+	for _, s := range sizes {
+		if s < minS {
+			minS = s
+		}
+		if s > maxS {
+			maxS = s
+		}
+	}
+	if maxS-minS > 1 {
+		t.Fatalf("unbalanced blocks: min=%d max=%d", minS, maxS)
+	}
+}
+
+func TestRunAllThreads(t *testing.T) {
+	var mask atomic.Int64
+	Run(8, func(tid int) { mask.Add(1 << tid) })
+	if mask.Load() != (1<<8)-1 {
+		t.Fatalf("mask = %x", mask.Load())
+	}
+}
+
+func TestBarrierPhases(t *testing.T) {
+	const parties = 6
+	const phases = 50
+	b := NewBarrier(parties)
+	var counter atomic.Int64
+	Run(parties, func(tid int) {
+		for p := 0; p < phases; p++ {
+			counter.Add(1)
+			b.Wait()
+			// After the barrier, all parties of this phase arrived.
+			if got := counter.Load(); got < int64((p+1)*parties) {
+				t.Errorf("phase %d: counter %d < %d", p, got, (p+1)*parties)
+			}
+			b.Wait()
+		}
+	})
+	if counter.Load() != parties*phases {
+		t.Fatalf("counter = %d", counter.Load())
+	}
+}
+
+func TestBarrierSingleParty(t *testing.T) {
+	b := NewBarrier(1)
+	for i := 0; i < 10; i++ {
+		b.Wait() // must not block
+	}
+}

@@ -1,0 +1,108 @@
+package psort
+
+import (
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"galois/internal/rng"
+)
+
+func cmpInt(a, b int) int { return a - b }
+
+func TestSmallInputs(t *testing.T) {
+	for _, in := range [][]int{{}, {1}, {2, 1}, {3, 1, 2}, {1, 1, 1}} {
+		got := append([]int(nil), in...)
+		Sort(got, cmpInt, 4)
+		want := append([]int(nil), in...)
+		slices.Sort(want)
+		if !slices.Equal(got, want) {
+			t.Fatalf("in=%v got=%v want=%v", in, got, want)
+		}
+	}
+}
+
+func TestLargeRandom(t *testing.T) {
+	r := rng.New(2)
+	for _, n := range []int{1 << 13, 1<<16 + 17, 1 << 18} {
+		for _, threads := range []int{1, 3, 8} {
+			in := make([]int, n)
+			for i := range in {
+				in[i] = r.Intn(1 << 20)
+			}
+			got := append([]int(nil), in...)
+			Sort(got, cmpInt, threads)
+			want := append([]int(nil), in...)
+			slices.Sort(want)
+			if !slices.Equal(got, want) {
+				t.Fatalf("n=%d threads=%d: mismatch", n, threads)
+			}
+		}
+	}
+}
+
+func TestStability(t *testing.T) {
+	type kv struct{ k, v int }
+	r := rng.New(5)
+	n := 1 << 16
+	in := make([]kv, n)
+	for i := range in {
+		in[i] = kv{k: r.Intn(100), v: i}
+	}
+	got := append([]kv(nil), in...)
+	Sort(got, func(a, b kv) int { return a.k - b.k }, 8)
+	for i := 1; i < n; i++ {
+		if got[i-1].k > got[i].k {
+			t.Fatal("not sorted")
+		}
+		if got[i-1].k == got[i].k && got[i-1].v > got[i].v {
+			t.Fatal("not stable")
+		}
+	}
+}
+
+func TestPropertySortedPermutation(t *testing.T) {
+	property := func(seed uint64, threadsRaw uint8) bool {
+		r := rng.New(seed)
+		threads := int(threadsRaw%8) + 1
+		n := r.Intn(1 << 15)
+		in := make([]int, n)
+		counts := map[int]int{}
+		for i := range in {
+			in[i] = r.Intn(1000)
+			counts[in[i]]++
+		}
+		Sort(in, cmpInt, threads)
+		for i := 1; i < n; i++ {
+			if in[i-1] > in[i] {
+				return false
+			}
+		}
+		for _, v := range in {
+			counts[v]--
+		}
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSort1M(b *testing.B) {
+	r := rng.New(9)
+	base := make([]int, 1<<20)
+	for i := range base {
+		base[i] = int(r.Uint64())
+	}
+	work := make([]int, len(base))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, base)
+		Sort(work, cmpInt, 8)
+	}
+}

@@ -1,0 +1,85 @@
+// Package scan provides parallel prefix sums — the workhorse of the
+// PBBS-style deterministic-by-construction codes: deterministic compaction
+// (filtering a sequence while preserving order) reduces to an exclusive
+// scan over per-block counts, which is how the handwritten deterministic
+// bfs packs its next frontier without a serial concatenation.
+package scan
+
+import "galois/internal/para"
+
+// serialCutoff is the size below which a sequential pass wins.
+const serialCutoff = 1 << 14
+
+// ExclusiveSum replaces counts with its exclusive prefix sum and returns
+// the total: counts'[i] = sum of counts[0:i].
+func ExclusiveSum(counts []int64, nthreads int) int64 {
+	n := len(counts)
+	if n == 0 {
+		return 0
+	}
+	if nthreads <= 1 || n < serialCutoff {
+		var acc int64
+		for i, v := range counts {
+			counts[i] = acc
+			acc += v
+		}
+		return acc
+	}
+	// Three-phase blocked scan: per-block sums, serial scan of block
+	// sums (cheap: one entry per block), per-block exclusive scan with
+	// the block offset.
+	blocks := nthreads * 4
+	if blocks > n {
+		blocks = n
+	}
+	bounds := make([]int, blocks+1)
+	for i := 0; i <= blocks; i++ {
+		bounds[i] = n * i / blocks
+	}
+	sums := make([]int64, blocks)
+	para.ForBlocked(blocks, blocks, func(_, lo, hi int) {
+		for b := lo; b < hi; b++ {
+			var s int64
+			for _, v := range counts[bounds[b]:bounds[b+1]] {
+				s += v
+			}
+			sums[b] = s
+		}
+	})
+	var total int64
+	for b := 0; b < blocks; b++ {
+		s := sums[b]
+		sums[b] = total
+		total += s
+	}
+	para.ForBlocked(blocks, blocks, func(_, lo, hi int) {
+		for b := lo; b < hi; b++ {
+			acc := sums[b]
+			for i := bounds[b]; i < bounds[b+1]; i++ {
+				v := counts[i]
+				counts[i] = acc
+				acc += v
+			}
+		}
+	})
+	return total
+}
+
+// Pack concatenates the per-producer buffers into one slice in producer
+// order using a parallel copy at scanned offsets — the deterministic
+// frontier-packing step of level-synchronous algorithms. The result order
+// is a pure function of the input buffers.
+func Pack[T any](buffers [][]T, nthreads int) []T {
+	counts := make([]int64, len(buffers))
+	for i, b := range buffers {
+		counts[i] = int64(len(b))
+	}
+	total := ExclusiveSum(counts, nthreads)
+	out := make([]T, total)
+	para.ForBlocked(nthreads, len(buffers), func(_, lo, hi int) {
+		for b := lo; b < hi; b++ {
+			copy(out[counts[b]:], buffers[b])
+		}
+	})
+	return out
+}

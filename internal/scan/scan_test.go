@@ -1,0 +1,97 @@
+package scan
+
+import (
+	"testing"
+	"testing/quick"
+
+	"galois/internal/rng"
+)
+
+func TestExclusiveSumSmall(t *testing.T) {
+	counts := []int64{3, 0, 5, 1}
+	total := ExclusiveSum(counts, 4)
+	if total != 9 {
+		t.Fatalf("total = %d", total)
+	}
+	want := []int64{0, 3, 3, 8}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", counts, want)
+		}
+	}
+}
+
+func TestExclusiveSumEmpty(t *testing.T) {
+	if ExclusiveSum(nil, 4) != 0 {
+		t.Fatal("empty scan nonzero")
+	}
+}
+
+func TestExclusiveSumMatchesSerial(t *testing.T) {
+	property := func(seed uint64, threadsRaw uint8) bool {
+		r := rng.New(seed)
+		threads := int(threadsRaw%8) + 1
+		n := r.Intn(1 << 16)
+		a := make([]int64, n)
+		b := make([]int64, n)
+		for i := range a {
+			a[i] = int64(r.Intn(100))
+			b[i] = a[i]
+		}
+		var acc int64
+		for i := range b {
+			v := b[i]
+			b[i] = acc
+			acc += v
+		}
+		total := ExclusiveSum(a, threads)
+		if total != acc {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackPreservesOrder(t *testing.T) {
+	r := rng.New(5)
+	for trial := 0; trial < 20; trial++ {
+		nb := 1 + r.Intn(20)
+		buffers := make([][]int, nb)
+		var want []int
+		next := 0
+		for b := range buffers {
+			l := r.Intn(50)
+			for i := 0; i < l; i++ {
+				buffers[b] = append(buffers[b], next)
+				want = append(want, next)
+				next++
+			}
+		}
+		got := Pack(buffers, 4)
+		if len(got) != len(want) {
+			t.Fatalf("len = %d, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("order broken at %d", i)
+			}
+		}
+	}
+}
+
+func TestPackEmptyBuffers(t *testing.T) {
+	if got := Pack([][]int{{}, {}, {}}, 2); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+	if got := Pack[int](nil, 2); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}

@@ -1,0 +1,190 @@
+// Package stats collects execution statistics for scheduler runs: commits,
+// aborts, atomic mark updates, rounds and per-round commit ratios. These are
+// the quantities reported in Figures 4 and 5 of the paper.
+//
+// Counters are kept per thread in cache-line padded slots and merged on
+// demand, so collection does not perturb the parallel execution it measures.
+package stats
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// cacheLine is the assumed cache line size for padding.
+const cacheLine = 64
+
+// threadCounters holds one thread's counters, padded to avoid false sharing.
+type threadCounters struct {
+	commits   uint64
+	aborts    uint64
+	pushes    uint64
+	atomicOps uint64
+	inspects  uint64
+	_         [cacheLine - 5*8%cacheLine]byte
+}
+
+// Collector accumulates counters during a single scheduler run. It is sized
+// for a fixed number of threads at construction.
+type Collector struct {
+	threads []threadCounters
+	rounds  atomic.Uint64
+	// windowSum accumulates window sizes to report the mean window.
+	windowSum atomic.Uint64
+	// roundTrace, if enabled, records (window, committed) per round.
+	traceEnabled bool
+	trace        []RoundSample
+	start        time.Time
+	elapsed      time.Duration
+}
+
+// RoundSample records one deterministic-scheduler round.
+type RoundSample struct {
+	Window    int
+	Committed int
+}
+
+// NewCollector returns a collector for nthreads threads.
+func NewCollector(nthreads int) *Collector {
+	return &Collector{threads: make([]threadCounters, nthreads)}
+}
+
+// EnableTrace turns on per-round tracing (single-threaded append from the
+// scheduler's coordinator, so no locking is needed).
+func (c *Collector) EnableTrace() { c.traceEnabled = true }
+
+// Start records the beginning of the measured region.
+func (c *Collector) Start() { c.start = time.Now() }
+
+// Stop records the end of the measured region.
+func (c *Collector) Stop() { c.elapsed = time.Since(c.start) }
+
+// SetElapsed overrides the measured duration (used when the caller times the
+// region itself).
+func (c *Collector) SetElapsed(d time.Duration) { c.elapsed = d }
+
+// Commit records a committed task on thread tid.
+func (c *Collector) Commit(tid int) { c.threads[tid].commits++ }
+
+// Abort records an aborted/failed task attempt on thread tid.
+func (c *Collector) Abort(tid int) { c.threads[tid].aborts++ }
+
+// Push records a newly created task on thread tid.
+func (c *Collector) Push(tid int) { c.threads[tid].pushes++ }
+
+// AtomicOp records n atomic shared-memory updates on thread tid. This is the
+// paper's proxy for inter-task communication (Figure 5).
+func (c *Collector) AtomicOp(tid int, n int) { c.threads[tid].atomicOps += uint64(n) }
+
+// Inspect records an inspected task on thread tid.
+func (c *Collector) Inspect(tid int) { c.threads[tid].inspects++ }
+
+// Round records one deterministic round with the given window size and
+// committed count. Called by the scheduler coordinator between barriers.
+func (c *Collector) Round(window, committed int) {
+	c.rounds.Add(1)
+	c.windowSum.Add(uint64(window))
+	if c.traceEnabled {
+		c.trace = append(c.trace, RoundSample{Window: window, Committed: committed})
+	}
+}
+
+// Snapshot merges all per-thread counters into a Stats value.
+func (c *Collector) Snapshot() Stats {
+	var s Stats
+	for i := range c.threads {
+		t := &c.threads[i]
+		s.Commits += t.commits
+		s.Aborts += t.aborts
+		s.Pushes += t.pushes
+		s.AtomicOps += t.atomicOps
+		s.Inspects += t.inspects
+	}
+	s.Rounds = c.rounds.Load()
+	s.WindowSum = c.windowSum.Load()
+	s.Elapsed = c.elapsed
+	s.Trace = c.trace
+	return s
+}
+
+// Stats is an immutable summary of one scheduler run.
+type Stats struct {
+	// Commits is the number of tasks that executed to completion.
+	Commits uint64
+	// Aborts is the number of failed task attempts (conflicts).
+	Aborts uint64
+	// Pushes is the number of dynamically created tasks.
+	Pushes uint64
+	// AtomicOps is the number of atomic updates to shared mark state.
+	AtomicOps uint64
+	// Inspects is the number of inspect-phase executions (deterministic
+	// scheduler only).
+	Inspects uint64
+	// Rounds is the number of deterministic scheduling rounds.
+	Rounds uint64
+	// WindowSum is the sum of window sizes over all rounds.
+	WindowSum uint64
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// Trace holds per-round samples if tracing was enabled.
+	Trace []RoundSample
+}
+
+// AbortRatio returns aborts / (commits + aborts), the paper's abort ratio.
+func (s Stats) AbortRatio() float64 {
+	total := s.Commits + s.Aborts
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Aborts) / float64(total)
+}
+
+// CommitsPerMicro returns committed tasks per microsecond of wall time
+// (Figure 4's task execution rate).
+func (s Stats) CommitsPerMicro() float64 {
+	us := s.Elapsed.Seconds() * 1e6
+	if us == 0 {
+		return 0
+	}
+	return float64(s.Commits) / us
+}
+
+// AtomicsPerMicro returns atomic updates per microsecond (Figure 5's rate).
+func (s Stats) AtomicsPerMicro() float64 {
+	us := s.Elapsed.Seconds() * 1e6
+	if us == 0 {
+		return 0
+	}
+	return float64(s.AtomicOps) / us
+}
+
+// MeanWindow returns the average deterministic window size.
+func (s Stats) MeanWindow() float64 {
+	if s.Rounds == 0 {
+		return 0
+	}
+	return float64(s.WindowSum) / float64(s.Rounds)
+}
+
+// Add returns the element-wise sum of s and o (durations add; traces are
+// dropped). Useful for aggregating phases of one logical run.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Commits:   s.Commits + o.Commits,
+		Aborts:    s.Aborts + o.Aborts,
+		Pushes:    s.Pushes + o.Pushes,
+		AtomicOps: s.AtomicOps + o.AtomicOps,
+		Inspects:  s.Inspects + o.Inspects,
+		Rounds:    s.Rounds + o.Rounds,
+		WindowSum: s.WindowSum + o.WindowSum,
+		Elapsed:   s.Elapsed + o.Elapsed,
+	}
+}
+
+// String renders the stats in a compact single-line form.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"commits=%d aborts=%d (ratio %.4f) pushes=%d atomics=%d rounds=%d meanWindow=%.1f elapsed=%s",
+		s.Commits, s.Aborts, s.AbortRatio(), s.Pushes, s.AtomicOps, s.Rounds, s.MeanWindow(), s.Elapsed)
+}

@@ -1,0 +1,250 @@
+// Package worklist provides the task pools used by the non-deterministic
+// Galois scheduler: per-thread chunked LIFO stacks with random stealing
+// (the Galois "ChunkedLIFO" family) and a simple shared FIFO.
+//
+// Worklists are generic over the task type and are only required to deliver
+// each pushed task exactly once; ordering is best-effort, which is precisely
+// the freedom the non-deterministic scheduler exploits.
+package worklist
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"galois/internal/rng"
+)
+
+// chunkSize is the number of tasks per chunk; chunking amortizes
+// synchronization over the shared pool.
+const chunkSize = 64
+
+type chunk[T any] struct {
+	items [chunkSize]T
+	n     int
+}
+
+// ChunkedLIFO is a scalable worklist: each thread owns a current chunk for
+// pushes and pops; full/spare chunks circulate through per-thread shelves
+// with stealing. LIFO order maximizes locality for data-driven algorithms.
+type ChunkedLIFO[T any] struct {
+	perThread []localQueue[T]
+	size      atomic.Int64
+}
+
+type localQueue[T any] struct {
+	mu     sync.Mutex
+	chunks []*chunk[T] // shelf of full or partial chunks, top at end
+	cur    *chunk[T]   // private push/pop chunk, not visible to thieves
+	rnd    *rng.Rand
+	_      [24]byte // reduce false sharing between adjacent queues
+}
+
+// NewChunkedLIFO returns a worklist for nthreads threads.
+func NewChunkedLIFO[T any](nthreads int) *ChunkedLIFO[T] {
+	w := &ChunkedLIFO[T]{perThread: make([]localQueue[T], nthreads)}
+	for i := range w.perThread {
+		w.perThread[i].rnd = rng.New(uint64(i)*0x9e3779b9 + 1)
+	}
+	return w
+}
+
+// Push adds item on thread tid's queue.
+func (w *ChunkedLIFO[T]) Push(tid int, item T) {
+	q := &w.perThread[tid]
+	if q.cur == nil {
+		q.cur = &chunk[T]{}
+	}
+	if q.cur.n == chunkSize {
+		q.mu.Lock()
+		q.chunks = append(q.chunks, q.cur)
+		q.mu.Unlock()
+		q.cur = &chunk[T]{}
+	}
+	q.cur.items[q.cur.n] = item
+	q.cur.n++
+	w.size.Add(1)
+}
+
+// Pop removes a task, preferring thread tid's own queue and stealing
+// otherwise. ok is false only if no task was found anywhere (which does not
+// by itself imply global emptiness; see Size).
+func (w *ChunkedLIFO[T]) Pop(tid int) (item T, ok bool) {
+	q := &w.perThread[tid]
+	if q.cur != nil && q.cur.n > 0 {
+		q.cur.n--
+		item = q.cur.items[q.cur.n]
+		var zero T
+		q.cur.items[q.cur.n] = zero
+		w.size.Add(-1)
+		return item, true
+	}
+	// Refill from own shelf.
+	if c := w.takeChunk(tid); c != nil {
+		q.cur = c
+		return w.Pop(tid)
+	}
+	// Steal: probe other shelves starting from a random victim.
+	n := len(w.perThread)
+	if n > 1 {
+		start := q.rnd.Intn(n)
+		for i := 0; i < n; i++ {
+			v := (start + i) % n
+			if v == tid {
+				continue
+			}
+			if c := w.takeChunk(v); c != nil {
+				q.cur = c
+				return w.Pop(tid)
+			}
+		}
+	}
+	var zero T
+	return zero, false
+}
+
+func (w *ChunkedLIFO[T]) takeChunk(victim int) *chunk[T] {
+	q := &w.perThread[victim]
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.chunks) == 0 {
+		return nil
+	}
+	c := q.chunks[len(q.chunks)-1]
+	q.chunks = q.chunks[:len(q.chunks)-1]
+	return c
+}
+
+// Size returns the number of tasks currently in the worklist. It is exact
+// when no concurrent pushes/pops are in flight.
+func (w *ChunkedLIFO[T]) Size() int { return int(w.size.Load()) }
+
+// ChunkedFIFO is a scalable approximately-first-in-first-out worklist:
+// threads fill private chunks and append them to a shared queue; pops drain
+// a private chunk taken from the queue's head. Order is FIFO at chunk
+// granularity, which is what level-structured algorithms like BFS need from
+// the non-deterministic scheduler to avoid pathological traversal orders.
+type ChunkedFIFO[T any] struct {
+	mu    sync.Mutex
+	queue []*chunk[T]
+	head  int
+	local []fifoLocal[T]
+	size  atomic.Int64
+}
+
+type fifoLocal[T any] struct {
+	write *chunk[T] // being filled by this thread
+	read  *chunk[T] // being drained by this thread
+	pos   int       // next index to read in read-chunk
+	_     [40]byte
+}
+
+// NewChunkedFIFO returns a worklist for nthreads threads.
+func NewChunkedFIFO[T any](nthreads int) *ChunkedFIFO[T] {
+	return &ChunkedFIFO[T]{local: make([]fifoLocal[T], nthreads)}
+}
+
+// Push adds item on thread tid's queue.
+func (w *ChunkedFIFO[T]) Push(tid int, item T) {
+	q := &w.local[tid]
+	if q.write == nil {
+		q.write = &chunk[T]{}
+	}
+	q.write.items[q.write.n] = item
+	q.write.n++
+	w.size.Add(1)
+	if q.write.n == chunkSize {
+		w.mu.Lock()
+		w.queue = append(w.queue, q.write)
+		w.mu.Unlock()
+		q.write = nil
+	}
+}
+
+// Pop removes a task in approximate FIFO order. ok is false if this thread
+// found no task (shared queue empty and private chunks drained).
+func (w *ChunkedFIFO[T]) Pop(tid int) (item T, ok bool) {
+	q := &w.local[tid]
+	if q.read != nil && q.pos < q.read.n {
+		item = q.read.items[q.pos]
+		q.pos++
+		if q.pos == q.read.n {
+			q.read = nil
+		}
+		w.size.Add(-1)
+		return item, true
+	}
+	// Take the oldest shared chunk.
+	w.mu.Lock()
+	if w.head < len(w.queue) {
+		q.read = w.queue[w.head]
+		w.queue[w.head] = nil
+		w.head++
+		if w.head == len(w.queue) {
+			w.queue = w.queue[:0]
+			w.head = 0
+		}
+		w.mu.Unlock()
+		q.pos = 0
+		return w.Pop(tid)
+	}
+	w.mu.Unlock()
+	// Fall back to this thread's partially filled write chunk.
+	if q.write != nil && q.write.n > 0 {
+		q.read = q.write
+		q.pos = 0
+		q.write = nil
+		return w.Pop(tid)
+	}
+	// Steal another thread's write chunk? Not needed: residual items are
+	// found because termination is detected via the scheduler's pending
+	// count, and their owner threads drain them.
+	var zero T
+	return zero, false
+}
+
+// Size returns the number of queued tasks.
+func (w *ChunkedFIFO[T]) Size() int { return int(w.size.Load()) }
+
+// FIFO is a mutex-protected global queue, useful as a simple baseline
+// worklist and for tests.
+type FIFO[T any] struct {
+	mu    sync.Mutex
+	items []T
+	head  int
+}
+
+// NewFIFO returns an empty FIFO.
+func NewFIFO[T any]() *FIFO[T] { return &FIFO[T]{} }
+
+// Push appends item.
+func (f *FIFO[T]) Push(item T) {
+	f.mu.Lock()
+	f.items = append(f.items, item)
+	f.mu.Unlock()
+}
+
+// Pop removes the oldest item.
+func (f *FIFO[T]) Pop() (item T, ok bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.head == len(f.items) {
+		var zero T
+		return zero, false
+	}
+	item = f.items[f.head]
+	var zero T
+	f.items[f.head] = zero
+	f.head++
+	if f.head == len(f.items) {
+		f.items = f.items[:0]
+		f.head = 0
+	}
+	return item, true
+}
+
+// Len returns the number of queued items.
+func (f *FIFO[T]) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.items) - f.head
+}
