@@ -1,0 +1,32 @@
+# Verification entry points. CI (.github/workflows/ci.yml) runs `make check`;
+# each target is independently useful during development.
+
+GO ?= go
+
+.PHONY: check build vet lint test race
+
+# Everything CI runs, in CI's order.
+check: vet lint build test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# detlint: the repository's determinism-hazard analyzer (see DESIGN.md,
+# "Determinism hazards and how we check them"). Non-zero exit on any
+# finding; scope is detlint.conf at the repo root.
+lint:
+	$(GO) run ./cmd/detlint ./...
+
+test:
+	$(GO) test ./...
+
+# The race detector covers the runtime and the apps — the packages where
+# goroutines share marks, worklists and task state. detlint's static rules
+# and -race are complementary: the linter catches order hazards races
+# never exhibit, the race detector catches unsynchronized access the
+# linter cannot see.
+race:
+	$(GO) test -race ./internal/core/... ./internal/apps/...

@@ -1,0 +1,109 @@
+// Command detlint statically checks this repository for determinism
+// hazards: map iteration, wall-clock reads, global RNG draws, shared
+// writes before a task's failsafe point, and scheduling-dependent
+// goroutines/selects on the deterministic path.
+//
+// Usage:
+//
+//	go run ./cmd/detlint [-config detlint.conf] [-rules] [patterns...]
+//
+// Patterns follow the go tool ("./...", "internal/core"); the default is
+// "./..." from the enclosing module root. Findings print one per line as
+//
+//	file:line: [rule] message
+//
+// and any finding makes the exit status 1. See DESIGN.md, "Determinism
+// hazards and how we check them", for the rule catalogue and the
+// //detlint:ignore suppression syntax.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"galois/internal/lint"
+)
+
+func main() {
+	configPath := flag.String("config", "", "config file (default: detlint.conf at the module root, if present)")
+	showRules := flag.Bool("rules", false, "list the analysis passes and exit")
+	flag.Parse()
+
+	if *showRules {
+		for _, p := range lint.Passes() {
+			fmt.Printf("%-16s %s\n", p.Name, p.Doc)
+		}
+		return
+	}
+
+	n, err := run(*configPath, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "detlint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+// run returns the number of findings; a non-nil error means the analysis
+// itself could not run.
+func run(configPath string, patterns []string) (int, error) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return 0, err
+	}
+	modRoot, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		return 0, err
+	}
+
+	cfg := lint.DefaultConfig()
+	switch {
+	case configPath != "":
+		if cfg, err = lint.ParseConfig(configPath); err != nil {
+			return 0, err
+		}
+	default:
+		if p := filepath.Join(modRoot, "detlint.conf"); fileExists(p) {
+			if cfg, err = lint.ParseConfig(p); err != nil {
+				return 0, err
+			}
+		}
+	}
+
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := lint.NewLoader(modRoot)
+	if err != nil {
+		return 0, err
+	}
+	pkgs, err := loader.Match(patterns...)
+	if err != nil {
+		return 0, err
+	}
+
+	findings := lint.Run(cfg, pkgs)
+	for _, f := range findings {
+		// Print module-relative paths so output is stable across checkouts.
+		if rel, err := filepath.Rel(modRoot, f.Pos.Filename); err == nil {
+			f.Pos.Filename = rel
+		}
+		fmt.Println(f)
+	}
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "detlint: note: %s: %v\n", p.Path, terr)
+		}
+	}
+	return len(findings), nil
+}
+
+func fileExists(p string) bool {
+	st, err := os.Stat(p)
+	return err == nil && !st.IsDir()
+}

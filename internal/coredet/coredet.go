@@ -90,6 +90,7 @@ func (rt *Runtime) Run(nthreads int, body func(*Thread)) {
 	var wg sync.WaitGroup
 	wg.Add(nthreads)
 	for _, t := range rt.threads {
+		//detlint:ignore goroutineorder threads are identified by deterministic id and synchronize at logical-quantum round barriers; cross-thread effects are ordered by the quantum schedule, not launch order
 		go func(t *Thread) {
 			defer wg.Done()
 			body(t)

@@ -52,6 +52,31 @@ func TestDeterministicVariantsAgreeAcrossThreads(t *testing.T) {
 	}
 }
 
+// TestPortabilityThreadSweep is the paper's portability claim (§1, §5.1)
+// as an executable regression: under the DIG scheduler — with and without
+// the continuation optimization — every registered app commits a
+// byte-identical output fingerprint at 1, 2, 4 and 8 threads.
+func TestPortabilityThreadSweep(t *testing.T) {
+	in := smallInputs()
+	threads := []int{1, 2, 4, 8}
+	for _, app := range Apps {
+		for _, variant := range []string{"g-d", "g-dnc"} {
+			var want uint64
+			for i, th := range threads {
+				r := in.RunOnce(app, variant, th, nil)
+				if i == 0 {
+					want = r.Fingerprint
+					continue
+				}
+				if r.Fingerprint != want {
+					t.Errorf("%s/%s: fingerprint %#x at %d threads, want %#x (as at %d threads)",
+						app, variant, r.Fingerprint, th, want, threads[0])
+				}
+			}
+		}
+	}
+}
+
 func TestSemanticAgreementAcrossVariants(t *testing.T) {
 	// For confluent apps (bfs distances, dt mesh, pfp flow value, and
 	// mis/dmr validity-checked elsewhere) the seq fingerprint is the

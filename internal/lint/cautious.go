@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// cautiousPass approximates the paper's cautiousness contract (§2.1): a
+// task body must perform all shared reads (via Ctx.Acquire) before its
+// failsafe point and defer all shared writes into the Ctx.OnCommit
+// closure, so that unwinding an aborted attempt needs no rollback.
+//
+// The static approximation: inside any function taking a *core.Ctx
+// parameter that calls Acquire or OnCommit on it, flag writes that occur
+// textually before the first such call and whose target is visibly shared —
+// a captured or package-level variable, or memory reached through a
+// pointer/map/slice parameter. Writes to locals (including locals that
+// alias shared state through an intermediate variable) are deliberately
+// not flagged: the pass under-approximates so that every finding is worth
+// reading. Functions that take a Ctx but never call Acquire/OnCommit
+// (helpers that only Push, commit closures) are skipped.
+func cautiousPass() *Pass {
+	p := &Pass{
+		Name:       "cautious",
+		Doc:        "shared write before the task's failsafe point",
+		Everywhere: true,
+	}
+	p.Run = func(u *Unit) {
+		u.inspect(func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					u.checkCautious(fn, fn.Type, fn.Body)
+				}
+			case *ast.FuncLit:
+				u.checkCautious(fn, fn.Type, fn.Body)
+			}
+			return true
+		})
+	}
+	return p
+}
+
+func (u *Unit) checkCautious(fnode ast.Node, ftype *ast.FuncType, body *ast.BlockStmt) {
+	ctxParams := make(map[types.Object]bool)
+	for _, field := range ftype.Params.List {
+		t := u.Pkg.Info.TypeOf(field.Type)
+		if t == nil || !u.namedCtx(t) {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := u.Pkg.Info.Defs[name]; obj != nil {
+				ctxParams[obj] = true
+			}
+		}
+	}
+	if len(ctxParams) == 0 {
+		return
+	}
+
+	// The failsafe point: the first Acquire or OnCommit call on the ctx.
+	failsafe := token.NoPos
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Acquire" && sel.Sel.Name != "OnCommit") {
+			return true
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok || !ctxParams[u.Pkg.Info.Uses[id]] {
+			return true
+		}
+		if !failsafe.IsValid() || call.Pos() < failsafe {
+			failsafe = call.Pos()
+		}
+		return true
+	})
+	if !failsafe.IsValid() {
+		return
+	}
+	failLine := u.Pkg.Fset.Position(failsafe).Line
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		// Writes inside nested literals execute at their call time, not
+		// here; each literal is checked on its own if it takes a Ctx.
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if st.Pos() >= failsafe {
+				return true
+			}
+			for _, lhs := range st.Lhs {
+				u.checkSharedWrite(lhs, st.Tok == token.DEFINE, ctxParams, fnode, body, failLine)
+			}
+		case *ast.IncDecStmt:
+			if st.Pos() >= failsafe {
+				return true
+			}
+			u.checkSharedWrite(st.X, false, ctxParams, fnode, body, failLine)
+		}
+		return true
+	})
+}
+
+func (u *Unit) checkSharedWrite(lhs ast.Expr, define bool, ctxParams map[types.Object]bool, fnode ast.Node, body *ast.BlockStmt, failLine int) {
+	lhs = ast.Unparen(lhs)
+	if id, ok := lhs.(*ast.Ident); ok {
+		if define || id.Name == "_" {
+			return
+		}
+		v, ok := u.Pkg.Info.ObjectOf(id).(*types.Var)
+		if !ok || ctxParams[v] {
+			return
+		}
+		if !declaredWithin(v, fnode) {
+			u.Reportf(id.Pos(), "write to %s %q before the failsafe point (first Acquire/OnCommit at line %d); cautious tasks defer shared writes into OnCommit", varKind(v), v.Name(), failLine)
+		}
+		return
+	}
+	base := baseIdent(lhs)
+	if base == nil {
+		return
+	}
+	v, ok := u.Pkg.Info.ObjectOf(base).(*types.Var)
+	if !ok || ctxParams[v] {
+		return
+	}
+	if !declaredWithin(v, fnode) {
+		u.Reportf(base.Pos(), "write through %s %q before the failsafe point (first Acquire/OnCommit at line %d); cautious tasks defer shared writes into OnCommit", varKind(v), v.Name(), failLine)
+		return
+	}
+	// Declared within the function: a parameter (declared before the body)
+	// writing through a reference type reaches the caller's memory; locals
+	// are left alone.
+	if v.Pos() < body.Pos() {
+		switch v.Type().Underlying().(type) {
+		case *types.Pointer, *types.Map, *types.Slice, *types.Chan:
+			u.Reportf(base.Pos(), "write through parameter %q reaches shared state before the failsafe point (first Acquire/OnCommit at line %d); cautious tasks defer shared writes into OnCommit", v.Name(), failLine)
+		}
+	}
+}
+
+func varKind(v *types.Var) string {
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return "package variable"
+	}
+	return "captured variable"
+}

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Config scopes the passes to the packages where determinism matters. It is
+// read from one file (detlint.conf at the module root by default) with a
+// line-oriented format:
+//
+//	# comment
+//	critical <module-relative path prefix>
+//	exempt   <module-relative path prefix>
+//
+// "critical" marks packages on the deterministic path: all passes run
+// there. "exempt" removes packages from analysis entirely and wins over
+// critical; it is the allowlist for measurement-only code (internal/stats,
+// internal/harness) that reads the wall clock by design. The prefix "*"
+// matches every package. Paths are module-relative ("internal/core"); a
+// prefix matches itself and everything below it ("internal/apps" covers
+// "internal/apps/bfs").
+type Config struct {
+	CriticalPrefixes []string
+	ExemptPrefixes   []string
+}
+
+// DefaultConfig covers this repository's layout: every package is critical
+// except the measurement and experiment-harness side.
+func DefaultConfig() *Config {
+	return &Config{
+		CriticalPrefixes: []string{"*"},
+		ExemptPrefixes:   []string{"internal/harness", "internal/stats", "internal/cachesim", "internal/linreg", "internal/lint", "examples"},
+	}
+}
+
+// ParseConfig parses the configuration file at path.
+func ParseConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := &Config{}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want `critical <prefix>` or `exempt <prefix>`, got %q", path, i+1, line)
+		}
+		prefix := strings.Trim(fields[1], "/")
+		switch fields[0] {
+		case "critical":
+			cfg.CriticalPrefixes = append(cfg.CriticalPrefixes, prefix)
+		case "exempt":
+			cfg.ExemptPrefixes = append(cfg.ExemptPrefixes, prefix)
+		default:
+			return nil, fmt.Errorf("%s:%d: unknown directive %q", path, i+1, fields[0])
+		}
+	}
+	return cfg, nil
+}
+
+// Critical reports whether the module-relative package path rel is on the
+// determinism-critical list.
+func (c *Config) Critical(rel string) bool { return matchAny(c.CriticalPrefixes, rel) }
+
+// Exempt reports whether rel is excluded from analysis.
+func (c *Config) Exempt(rel string) bool { return matchAny(c.ExemptPrefixes, rel) }
+
+func matchAny(prefixes []string, rel string) bool {
+	for _, p := range prefixes {
+		if p == "*" || p == rel || strings.HasPrefix(rel, p+"/") || (p == "." && rel == "") {
+			return true
+		}
+	}
+	return false
+}

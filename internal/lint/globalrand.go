@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// globalRandPass flags draws from math/rand's process-global source (and
+// any top-level math/rand/v2 function, whose global state is always
+// auto-seeded) in determinism-critical packages.
+//
+// The global source is seeded from entropy at process start, so anything
+// derived from it differs run to run. The repository's replacement is
+// galois/internal/rng: explicit 64-bit seeds, splittable streams, and no
+// global state. Constructing a local generator from an explicit constant
+// seed (rand.New(rand.NewSource(42))) is deterministic and therefore not
+// flagged, though internal/rng is still preferred for splittability.
+func globalRandPass() *Pass {
+	p := &Pass{
+		Name: "globalrand",
+		Doc:  "draw from math/rand's process-global source",
+	}
+	// Constructors return caller-owned state and are allowed; every other
+	// top-level function uses the global source.
+	constructors := map[string]bool{
+		"New": true, "NewSource": true, "NewZipf": true,
+		"NewPCG": true, "NewChaCha8": true,
+	}
+	p.Run = func(u *Unit) {
+		u.inspect(func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := u.callee(call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			// Methods on *rand.Rand draw from caller-owned state.
+			if fn.Signature().Recv() != nil {
+				return true
+			}
+			if constructors[fn.Name()] {
+				return true
+			}
+			u.Reportf(call.Pos(), "%s.%s draws from the process-global source; use galois/internal/rng with an explicit seed", path, fn.Name())
+			return true
+		})
+	}
+	return p
+}

@@ -1,0 +1,43 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// goroutineOrderPass flags concurrency primitives whose outcome depends on
+// scheduling, in determinism-critical packages.
+//
+// Two shapes are reported. A `go` statement on the deterministic path is
+// only safe when whatever the goroutines produce is merged by a
+// schedule-independent key (thread index, task id) — the analyzer cannot
+// prove that, so every launch site must either be fixed or carry a
+// //detlint:ignore goroutineorder annotation stating the merge order. A
+// `select` with two or more ready communication cases picks one
+// pseudo-randomly by language definition, so any multi-case select on the
+// deterministic path is a hazard outright.
+func goroutineOrderPass() *Pass {
+	p := &Pass{
+		Name: "goroutineorder",
+		Doc:  "scheduling-dependent goroutine or select on the deterministic path",
+	}
+	p.Run = func(u *Unit) {
+		u.inspect(func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.GoStmt:
+				u.Reportf(st.Pos(), "goroutine launched on the deterministic path; results must be merged by thread index or task id — annotate //detlint:ignore goroutineorder with the merge order")
+			case *ast.SelectStmt:
+				comm := 0
+				for _, c := range st.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok && cc.Comm != nil {
+						comm++
+					}
+				}
+				if comm >= 2 {
+					u.Reportf(st.Pos(), "select over %d channels resolves ties pseudo-randomly; deterministic-path code must receive in a fixed order", comm)
+				}
+			}
+			return true
+		})
+	}
+	return p
+}

@@ -1,0 +1,138 @@
+// Package lint implements detlint, a static determinism-hazard analyzer
+// for this repository's deterministic runtime (see DESIGN.md, "Determinism
+// hazards and how we check them").
+//
+// The paper's guarantee — committed output is a pure function of the input,
+// independent of thread count and machine — is a runtime property that
+// static analysis cannot prove, but its common failure modes are all
+// syntactically visible: iterating an unordered map, reading the wall
+// clock, drawing from a process-global RNG, writing shared state before a
+// task's failsafe point, or racing goroutines/channels outside the
+// scheduler's control. detlint flags each of those on the packages declared
+// determinism-critical in detlint.conf. Deliberate exceptions carry a
+// //detlint:ignore annotation with a reason, so every hazard in the tree is
+// either fixed or argued for in place.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one reported hazard.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Msg)
+}
+
+// Pass is one analysis. Run inspects a single package and reports through
+// the Unit; suppression and scoping are handled by the runner.
+type Pass struct {
+	Name string
+	// Doc is a one-line description, shown by `detlint -rules`.
+	Doc string
+	// Everywhere marks passes that run on all packages, not only the
+	// determinism-critical set (they key off their own evidence, like a
+	// Ctx parameter, rather than package identity).
+	Everywhere bool
+	Run        func(u *Unit)
+}
+
+// Passes returns all registered passes in reporting order.
+func Passes() []*Pass {
+	return []*Pass{
+		mapRangePass(),
+		wallClockPass(),
+		globalRandPass(),
+		cautiousPass(),
+		goroutineOrderPass(),
+	}
+}
+
+// Unit is the per-(package, pass) context handed to a pass.
+type Unit struct {
+	Pkg  *Package
+	Cfg  *Config
+	pass *Pass
+
+	findings []Finding
+}
+
+// Reportf records a finding at pos unless a directive suppresses it.
+func (u *Unit) Reportf(pos token.Pos, format string, args ...any) {
+	p := u.Pkg.Fset.Position(pos)
+	if u.Pkg.suppressed(u.pass.Name, p) {
+		return
+	}
+	u.findings = append(u.findings, Finding{Pos: p, Rule: u.pass.Name, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Run executes every pass over every package and returns findings sorted by
+// file, line and rule. Malformed //detlint: directives are reported as
+// findings of the pseudo-rule "directive".
+func Run(cfg *Config, pkgs []*Package) []Finding {
+	var out []Finding
+	passes := Passes()
+	for _, pkg := range pkgs {
+		if cfg.Exempt(pkg.Rel) {
+			continue
+		}
+		critical := cfg.Critical(pkg.Rel)
+		for _, pass := range passes {
+			if !critical && !pass.Everywhere {
+				continue
+			}
+			u := &Unit{Pkg: pkg, Cfg: cfg, pass: pass}
+			pass.Run(u)
+			out = append(out, u.findings...)
+		}
+		for _, byLine := range pkg.directives {
+			for _, ds := range byLine {
+				for _, d := range ds {
+					if d.verb == "malformed" {
+						out = append(out, Finding{
+							Pos:  pkg.Fset.Position(d.pos),
+							Rule: "directive",
+							Msg:  d.reason,
+						})
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// inspect walks every file of the unit's package.
+func (u *Unit) inspect(fn func(ast.Node) bool) {
+	for _, f := range u.Pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// ruleNames returns the names of all passes, for CLI help.
+func ruleNames() string {
+	var names []string
+	for _, p := range Passes() {
+		names = append(names, p.Name)
+	}
+	return strings.Join(names, ", ")
+}

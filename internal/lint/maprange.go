@@ -1,0 +1,39 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// mapRangePass flags `range` over a map in determinism-critical packages.
+//
+// Go randomizes map iteration order per run, so any map iteration whose
+// effects can reach committed output breaks the paper's portability claim
+// even on a single thread. The fix is to extract the keys, sort them, and
+// range over the sorted slice (which this pass, being type-directed, does
+// not flag). Iterations that are genuinely order-insensitive — pure
+// reductions with commutative, associative combining — are annotated
+// //detlint:ordered with a reason.
+func mapRangePass() *Pass {
+	p := &Pass{
+		Name: "maprange",
+		Doc:  "range over a map iterates in randomized order",
+	}
+	p.Run = func(u *Unit) {
+		u.inspect(func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := u.Pkg.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				u.Reportf(rs.For, "iteration over map %s has randomized order; sort the keys into a slice first, or annotate //detlint:ordered with why order cannot reach committed output", types.TypeString(t, nil))
+			}
+			return true
+		})
+	}
+	return p
+}

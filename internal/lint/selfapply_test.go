@@ -1,0 +1,26 @@
+package lint
+
+import (
+	"os/exec"
+	"testing"
+)
+
+// TestSelfApplication shells out the real CLI over the whole repository,
+// exactly as CI does. The tree must stay hazard-free: any determinism
+// hazard reintroduced anywhere in the module makes tier-1 `go test ./...`
+// fail through this test.
+func TestSelfApplication(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI round-trip in -short mode")
+	}
+	modRoot, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", "./cmd/detlint", "./...")
+	cmd.Dir = modRoot
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("detlint reported hazards or failed:\n%s\nerror: %v", out, err)
+	}
+}

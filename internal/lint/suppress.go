@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directive is one parsed //detlint: comment.
+//
+// Two forms are recognized, both attaching to the line they appear on and
+// to the line immediately below (so a directive can sit on its own line
+// above the statement it suppresses):
+//
+//	//detlint:ignore <rule>[,<rule>...] <reason>
+//	//detlint:ordered [<reason>]
+//
+// "ordered" is shorthand for "ignore maprange": it asserts that the order
+// of the annotated map iteration cannot reach committed output (for
+// example because the loop body is commutative and associative).
+// "ignore all <reason>" suppresses every rule on the line.
+type directive struct {
+	verb   string // "ignore" or "ordered"
+	rules  []string
+	reason string
+	pos    token.Pos
+}
+
+const directivePrefix = "//detlint:"
+
+// parseDirective parses the text of one comment; ok is false for comments
+// that are not detlint directives at all. A malformed directive returns
+// ok=true with a non-empty err string so the runner can report it: silent
+// misspellings would otherwise un-suppress nothing and suppress nothing.
+func parseDirective(c *ast.Comment) (d directive, err string, ok bool) {
+	text, found := strings.CutPrefix(c.Text, directivePrefix)
+	if !found {
+		return directive{}, "", false
+	}
+	d.pos = c.Pos()
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		return d, "empty detlint directive", true
+	}
+	d.verb = fields[0]
+	switch d.verb {
+	case "ordered":
+		d.rules = []string{"maprange"}
+		d.reason = strings.Join(fields[1:], " ")
+	case "ignore":
+		if len(fields) < 2 {
+			return d, "detlint:ignore needs a rule name", true
+		}
+		d.rules = strings.Split(fields[1], ",")
+		d.reason = strings.Join(fields[2:], " ")
+		if d.reason == "" {
+			return d, "detlint:ignore " + fields[1] + " needs a reason", true
+		}
+	default:
+		return d, "unknown detlint directive " + d.verb, true
+	}
+	return d, "", true
+}
+
+// indexDirectives builds the per-file line index of directives and returns
+// it. Malformed directives are indexed under verb "malformed" with the
+// error text as reason; the runner turns those into findings.
+func indexDirectives(fset *token.FileSet, files []*ast.File) map[string]map[int][]directive {
+	idx := make(map[string]map[int][]directive)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, errText, ok := parseDirective(c)
+				if !ok {
+					continue
+				}
+				if errText != "" {
+					d.verb = "malformed"
+					d.reason = errText
+				}
+				pos := fset.Position(c.Pos())
+				byLine := idx[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]directive)
+					idx[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], d)
+			}
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether a finding of rule at position pos is covered
+// by an ignore/ordered directive on the same line or the line above.
+func (p *Package) suppressed(rule string, pos token.Position) bool {
+	byLine := p.directives[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, d := range byLine[line] {
+			if d.verb == "malformed" {
+				continue
+			}
+			for _, r := range d.rules {
+				if r == rule || r == "all" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

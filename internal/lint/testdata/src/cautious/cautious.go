@@ -1,0 +1,69 @@
+// Package cautious is a detlint test fixture. It imports the real runtime
+// context type so the pass resolves core.Ctx exactly as it does on
+// production code.
+package cautious
+
+import (
+	"galois/internal/core"
+	"galois/internal/marks"
+)
+
+type node struct {
+	lock marks.Lockable
+	val  int
+	hits int
+}
+
+var generation int
+
+func eagerWrites(ctx *core.Ctx[*node], n *node) {
+	n.val = 1      // want cautious
+	generation = 2 // want cautious
+	n.hits++       // want cautious
+	ctx.Acquire(&n.lock)
+	v := n.val + 1
+	ctx.OnCommit(func(c *core.Ctx[*node]) {
+		// Shared writes inside the commit closure are the contract.
+		n.val = v
+	})
+}
+
+func capturedWrite(shared []int) func(*core.Ctx[int], int) {
+	return func(ctx *core.Ctx[int], i int) {
+		shared[i] = i // want cautious
+		var l marks.Lockable
+		ctx.Acquire(&l)
+	}
+}
+
+func suppressedWrite(ctx *core.Ctx[*node], n *node) {
+	//detlint:ignore cautious scratch field is task-private by construction
+	n.hits = 0
+	ctx.Acquire(&n.lock)
+}
+
+func localWritesAreFine(ctx *core.Ctx[*node], n *node, byValue node) {
+	sum := 0
+	sum += 3
+	byValue.val = 9 // writes a parameter copy, not shared state
+	scratch := make([]int, 4)
+	scratch[0] = sum
+	ctx.Acquire(&n.lock)
+	ctx.OnCommit(func(c *core.Ctx[*node]) {
+		n.val = sum
+	})
+}
+
+func writesAfterAcquireAreAccepted(ctx *core.Ctx[*node], n *node) {
+	ctx.Acquire(&n.lock)
+	// The pass checks the failsafe prefix only; post-acquire writes are
+	// the (weaker) textual approximation's accepted blind spot.
+	n.val = 7
+}
+
+func helperWithoutAcquireIsSkipped(ctx *core.Ctx[*node], n *node) {
+	// Helpers that never establish a neighborhood (only Push, say) are
+	// out of scope for the approximation.
+	n.val = 3
+	ctx.Push(n)
+}

@@ -1,0 +1,16 @@
+// Package directive is a detlint test fixture for malformed //detlint:
+// comments, which must themselves be reported rather than silently doing
+// nothing.
+package directive
+
+//detlint:ignore maprange
+func missingReason() {}
+
+//detlint:frobnicate whatever
+func unknownVerb() {}
+
+//detlint:ignore
+func missingRule() {}
+
+//detlint:ordered reductions here are commutative
+func orderedWithReasonIsWellFormed() {}

@@ -1,0 +1,34 @@
+// Package globalrand is a detlint test fixture.
+package globalrand
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+func globalDraws() (int, float64) {
+	a := rand.Intn(10)                 // want globalrand
+	b := rand.Float64()                // want globalrand
+	rand.Shuffle(3, func(i, j int) {}) // want globalrand
+	return a, b
+}
+
+func v2GlobalDraws() uint64 {
+	return randv2.Uint64() // want globalrand
+}
+
+func seededLocalIsFine() int {
+	// Caller-owned state from an explicit constant seed is deterministic.
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(10)
+}
+
+func v2SeededLocalIsFine() uint64 {
+	r := randv2.New(randv2.NewPCG(1, 2))
+	return r.Uint64()
+}
+
+func suppressed() int {
+	//detlint:ignore globalrand jitter for a log sampling decision, not on the output path
+	return rand.Intn(100)
+}

@@ -1,0 +1,51 @@
+// Package goroutineorder is a detlint test fixture.
+package goroutineorder
+
+func spawns(work func(int)) {
+	for i := 0; i < 4; i++ {
+		go work(i) // want goroutineorder
+	}
+}
+
+func suppressedSpawn(results []int, compute func(int) int) {
+	done := make(chan struct{})
+	for i := range results {
+		//detlint:ignore goroutineorder each goroutine writes only its own index; joined before read
+		go func(i int) {
+			results[i] = compute(i)
+			done <- struct{}{}
+		}(i)
+	}
+	for range results {
+		<-done
+	}
+}
+
+func racySelect(a, b chan int) int {
+	select { // want goroutineorder
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func suppressedSelect(a, b chan int) int {
+	//detlint:ignore goroutineorder both channels carry the same reduction value
+	select {
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func singleCaseSelectIsFine(a chan int, stop chan struct{}) int {
+	// One communication case plus default: no cross-channel race.
+	select {
+	case v := <-a:
+		return v
+	default:
+		return 0
+	}
+}

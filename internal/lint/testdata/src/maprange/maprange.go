@@ -1,0 +1,64 @@
+// Package maprange is a detlint test fixture. Comments of the form
+// `// want <rule>` mark lines the analyzer must flag.
+package maprange
+
+import "sort"
+
+type table map[string]int
+
+func plainRange(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // want maprange
+		sum += v
+	}
+	return sum
+}
+
+func namedMapType(t table) []string {
+	var keys []string
+	for k := range t { // want maprange
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sortedKeysAreFine(m map[string]int) []int {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want maprange
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []int
+	for _, k := range keys { // slice range: not flagged
+		out = append(out, m[k])
+	}
+	return out
+}
+
+func suppressedSameLine(m map[string]int) int {
+	n := 0
+	for range m { //detlint:ordered pure count, order cannot matter
+		n++
+	}
+	return n
+}
+
+func suppressedLineAbove(m map[string]int) int {
+	n := 0
+	//detlint:ignore maprange commutative sum over values
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func sliceAndChannelRangesAreFine(s []int, c chan int) int {
+	n := 0
+	for _, v := range s {
+		n += v
+	}
+	for v := range c {
+		n += v
+	}
+	return n
+}

@@ -1,0 +1,33 @@
+// Package wallclock is a detlint test fixture.
+package wallclock
+
+import "time"
+
+func readsClock() int64 {
+	t := time.Now() // want wallclock
+	return t.UnixNano()
+}
+
+func sinceAndUntil(start time.Time) (time.Duration, time.Duration) {
+	a := time.Since(start) // want wallclock
+	b := time.Until(start) // want wallclock
+	return a, b
+}
+
+func suppressed() time.Time {
+	//detlint:ignore wallclock diagnostic log timestamp, never feeds scheduling
+	return time.Now()
+}
+
+func durationMathIsFine(d time.Duration) time.Duration {
+	// Pure duration arithmetic and parsing do not read the clock.
+	parsed, _ := time.ParseDuration("1s")
+	return d + parsed.Round(time.Millisecond)
+}
+
+func aliasedCall() time.Time {
+	// Taking the function value and calling through it is beyond the
+	// pass's resolution — documented limitation, not flagged.
+	now := time.Now
+	return now()
+}

@@ -1,0 +1,38 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// wallClockPass flags wall-clock reads in determinism-critical packages.
+//
+// time.Now (and the Since/Until sugar over it) is the canonical source of
+// run-to-run variation: any scheduling or algorithmic decision derived
+// from it makes the committed output depend on machine speed and load.
+// Measurement-only packages (internal/stats, internal/harness) are exempt
+// via detlint.conf — they time runs but their values never feed back into
+// task scheduling or output.
+func wallClockPass() *Pass {
+	p := &Pass{
+		Name: "wallclock",
+		Doc:  "wall-clock read on the deterministic path",
+	}
+	clockFuncs := map[string]bool{"Now": true, "Since": true, "Until": true}
+	p.Run = func(u *Unit) {
+		u.inspect(func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := u.callee(call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if fn.Pkg().Path() == "time" && clockFuncs[fn.Name()] {
+				u.Reportf(call.Pos(), "time.%s reads the wall clock; deterministic-path code must not branch on real time (move measurement into internal/stats or internal/harness)", fn.Name())
+			}
+			return true
+		})
+	}
+	return p
+}

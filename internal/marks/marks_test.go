@@ -150,6 +150,113 @@ func TestWriteMaxConcurrent(t *testing.T) {
 	}
 }
 
+// TestWriteMaxEqualIDConcurrent races writeMarksMax calls that carry the
+// SAME Rec (equal id) against each other and against distinct lower ids.
+// Re-acquisition by the owner must always succeed, must never report the
+// rec as stolen from itself, and the equal-id race must not corrupt the
+// final max: the highest id still ends up holding the mark.
+func TestWriteMaxEqualIDConcurrent(t *testing.T) {
+	const goroutines = 8
+	const iters = 500
+	for trial := 0; trial < 20; trial++ {
+		var l Lockable
+		top := &Rec{ID: 1000}
+		lower := make([]*Rec, goroutines)
+		for i := range lower {
+			lower[i] = &Rec{ID: uint64(i) + 1}
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					// Even goroutines hammer the shared (equal-id) rec;
+					// odd ones contend with their own lower id.
+					rec := top
+					if g%2 == 1 {
+						rec = lower[g]
+					}
+					owned, stole, _ := l.WriteMax(rec)
+					if stole == rec {
+						t.Error("WriteMax reported a rec stolen from itself")
+						return
+					}
+					if rec == top && !owned {
+						t.Error("equal-id re-acquisition by the max rec failed")
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		if h := l.Holder(); h != top {
+			t.Fatalf("trial %d: final holder %v, want the max-id rec", trial, h)
+		}
+	}
+}
+
+// TestPreventedWhenMarkLostLater pins the §3.3 protocol edge case: a task
+// marks a location, then loses it to a higher id later in the same round.
+// The stealer (not the loser) is responsible for setting the loser's
+// Prevented flag, the loser's validation must fail, and round-end clearing
+// must leave every mark empty exactly once — the loser's ClearIfOwner on
+// the stolen location must be a no-op.
+func TestPreventedWhenMarkLostLater(t *testing.T) {
+	var l1, l2 Lockable
+	loser := &Rec{ID: 1}
+	stealer := &Rec{ID: 2}
+
+	// The loser inspects its neighborhood {l1, l2} first and owns both.
+	for _, l := range []*Lockable{&l1, &l2} {
+		owned, stole, _ := l.WriteMax(loser)
+		if !owned || stole != nil {
+			t.Fatalf("loser failed to mark an empty location: owned=%v stole=%v", owned, stole)
+		}
+	}
+
+	// Later in the round the higher-id task touches l2 and displaces it.
+	owned, stole, _ := l2.WriteMax(stealer)
+	if !owned || stole != loser {
+		t.Fatalf("stealer: owned=%v stole=%v, want owned with the loser displaced", owned, stole)
+	}
+	stole.Prevented.Store(true) // stealer's obligation
+
+	if !loser.Prevented.Load() {
+		t.Fatal("loser not marked Prevented after losing a location it had marked")
+	}
+	if stealer.Prevented.Load() {
+		t.Fatal("stealer spuriously Prevented")
+	}
+
+	// Commit-phase validation: the loser still owns l1 but not l2, so it
+	// must not pass validation of its full neighborhood.
+	if !l1.OwnedBy(loser) {
+		t.Fatal("loser lost l1, which nobody contested")
+	}
+	if l2.OwnedBy(loser) {
+		t.Fatal("loser still validates on the stolen location")
+	}
+
+	// Round end: every task clears its whole neighborhood; only the final
+	// owner's clear may take effect.
+	l1.ClearIfOwner(loser)
+	l2.ClearIfOwner(loser) // no-op: stealer owns it
+	if l2.Holder() != stealer {
+		t.Fatal("loser's clear removed the stealer's mark")
+	}
+	l2.ClearIfOwner(stealer)
+	if l1.Holder() != nil || l2.Holder() != nil {
+		t.Fatal("marks not empty after round-end clearing")
+	}
+
+	// A fresh round reuses the Recs; Reset must drop the Prevented state.
+	loser.Reset(7)
+	if loser.Prevented.Load() {
+		t.Fatal("Reset kept the Prevented flag")
+	}
+}
+
 // TestWriteMaxPreventedCover verifies the continuation-optimization
 // invariant: after all writes, every rec that does not own all its marks is
 // either self-prevented (saw a higher id) or was stolen from (Prevented set

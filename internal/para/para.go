@@ -43,6 +43,7 @@ func ForChunked(nthreads, n, chunk int, body func(tid, i int)) {
 	}
 	wg.Add(workers)
 	for t := 0; t < workers; t++ {
+		//detlint:ignore goroutineorder fork-join: every index runs exactly once and results are stored into index-addressed slots; wg.Wait joins before any result is read
 		go func(tid int) {
 			defer wg.Done()
 			for {
@@ -89,6 +90,7 @@ func ForBlocked(nthreads, n int, body func(tid, lo, hi int)) {
 		if t < rem {
 			hi++
 		}
+		//detlint:ignore goroutineorder fork-join over a static block partition: block boundaries are a pure function of (nthreads, n), and wg.Wait joins before results are read
 		go func(tid, lo, hi int) {
 			defer wg.Done()
 			body(tid, lo, hi)
@@ -108,6 +110,7 @@ func Run(nthreads int, body func(tid int)) {
 	var wg sync.WaitGroup
 	wg.Add(nthreads)
 	for t := 0; t < nthreads; t++ {
+		//detlint:ignore goroutineorder persistent-worker launch: workers are identified by tid and the schedulers built on Run order all cross-thread merges by round barrier and task id
 		go func(tid int) {
 			defer wg.Done()
 			body(tid)

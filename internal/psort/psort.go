@@ -41,6 +41,7 @@ func Sort[T any](items []T, cmp func(a, b T) int, nthreads int) {
 	var wg sync.WaitGroup
 	for b := 0; b < blocks; b++ {
 		wg.Add(1)
+		//detlint:ignore goroutineorder each goroutine stable-sorts a disjoint static block; the result is a pure function of the input regardless of completion order
 		go func(lo, hi int) {
 			defer wg.Done()
 			slices.SortStableFunc(items[lo:hi], cmp)
@@ -58,6 +59,7 @@ func Sort[T any](items []T, cmp func(a, b T) int, nthreads int) {
 			hiIdx := min(b+2*width, blocks)
 			lo, mid, hi := bounds[loIdx], bounds[midIdx], bounds[hiIdx]
 			mw.Add(1)
+			//detlint:ignore goroutineorder the merge tree is fixed by block indices, each merge writes a disjoint dst range, and levels are joined before the next begins
 			go func(lo, mid, hi int) {
 				defer mw.Done()
 				mergeInto(dst[lo:hi], src[lo:mid], src[mid:hi], cmp)
