@@ -3,10 +3,10 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race
+.PHONY: check build vet lint test race trace-smoke
 
 # Everything CI runs, in CI's order.
-check: vet lint build test race
+check: vet lint build test race trace-smoke
 
 build:
 	$(GO) build ./...
@@ -30,3 +30,11 @@ test:
 # linter cannot see.
 race:
 	$(GO) test -race ./internal/core/... ./internal/apps/...
+
+# End-to-end trace check: run one traced figure at small scale, then prove
+# the emitted Chrome trace-event JSON parses and is structurally sound
+# (cmd/tracecheck). Guards the whole obs pipeline — instrumentation, sink,
+# export — without needing a trace viewer in CI.
+trace-smoke:
+	$(GO) run ./cmd/repro -fig window -scale small -threads 2 -trace trace.json > /dev/null
+	$(GO) run ./cmd/tracecheck trace.json

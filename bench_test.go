@@ -13,6 +13,7 @@ package galois_test
 import (
 	"flag"
 	"fmt"
+	"os"
 	"sync"
 	"testing"
 
@@ -28,10 +29,43 @@ import (
 	"galois/internal/coredet"
 	"galois/internal/graph"
 	"galois/internal/harness"
+	"galois/internal/obs"
 	"galois/internal/para"
 )
 
-var benchScale = flag.String("benchscale", "small", "benchmark input scale: small|default|full")
+var (
+	benchScale = flag.String("benchscale", "small", "benchmark input scale: small|default|full")
+	benchJSON  = flag.String("benchjson", "", "write a benchmark-trajectory JSON (galois-bench/v1) of every measured run to this file")
+)
+
+// benchDoc accumulates one trajectory entry per benchRun measurement when
+// -benchjson is set; TestMain flushes it after the run.
+var (
+	benchDocMu sync.Mutex
+	benchDoc   = obs.NewBench()
+)
+
+func recordBench(r harness.Run) {
+	if *benchJSON == "" {
+		return
+	}
+	benchDocMu.Lock()
+	benchDoc.Add(harness.BenchEntry(r, *benchScale))
+	benchDocMu.Unlock()
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if *benchJSON != "" && len(benchDoc.Entries) > 0 {
+		if err := benchDoc.WriteFile(*benchJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
+}
 
 var (
 	inputsOnce sync.Once
@@ -59,6 +93,7 @@ func benchRun(b *testing.B, app, variant string, threads int) {
 	for i := 0; i < b.N; i++ {
 		last = in.RunOnce(app, variant, threads, nil)
 	}
+	recordBench(last)
 	b.ReportMetric(last.Stats.CommitsPerMicro(), "tasks/us")
 	b.ReportMetric(last.Stats.AbortRatio(), "abort-ratio")
 	b.ReportMetric(last.Stats.AtomicsPerMicro(), "atomics/us")

@@ -8,6 +8,11 @@
 //	repro -fig all -scale small       # smoke-run every figure
 //	repro -fig 6 -threads 1,2,4,8     # explicit thread sweep
 //	repro -fig 7 -scale full          # the paper's input sizes (slow)
+//	repro -fig 7 -trace trace.json    # also dump a Chrome/Perfetto trace
+//	repro -bench-json BENCH.json      # emit the benchmark trajectory file
+//
+// Figure tables go to stdout; progress diagnostics go to stderr, so
+// `repro -fig 7 > fig7.txt` captures a clean table.
 //
 // Absolute numbers differ from the paper (different hardware and runtime);
 // each figure prints the shape claims it is expected to reproduce.
@@ -20,6 +25,7 @@ import (
 	"strconv"
 	"strings"
 
+	"galois"
 	"galois/internal/harness"
 )
 
@@ -27,10 +33,12 @@ func main() {
 	fig := flag.String("fig", "", "figure to reproduce: 4..12, 'all', 'window' (adaptive-window trace), or 'ext' (extensions)")
 	scale := flag.String("scale", "default", "input scale: small|default|full")
 	threadsFlag := flag.String("threads", "", "comma-separated thread counts (default: 1,2,4,...,GOMAXPROCS)")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the traced runs to this file")
+	benchPath := flag.String("bench-json", "", "measure every app x scheduler once and write a benchmark-trajectory JSON to this file")
 	flag.Parse()
 
-	if *fig == "" {
-		fmt.Fprintln(os.Stderr, "repro: -fig is required (4..12 or 'all')")
+	if *fig == "" && *benchPath == "" {
+		fmt.Fprintln(os.Stderr, "repro: -fig is required (4..12, 'all', 'window', 'ext') unless -bench-json is given")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -50,52 +58,90 @@ func main() {
 			threads = append(threads, v)
 		}
 	}
-
-	if *fig == "ext" {
-		in := harness.MakeInputs(sc)
-		t := 1
-		if len(threads) > 0 {
-			t = threads[len(threads)-1]
-		}
-		if err := harness.Extensions(in, t, os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "repro:", err)
-			os.Exit(1)
-		}
-		return
+	sweep := threads
+	if len(sweep) == 0 {
+		sweep = harness.DefaultThreadSweep()
 	}
-	if *fig == "window" {
-		in := harness.MakeInputs(sc)
-		t := 1
-		if len(threads) > 0 {
-			t = threads[len(threads)-1]
+	maxT := 1
+	for _, t := range sweep {
+		if t > maxT {
+			maxT = t
 		}
-		if err := harness.WindowTrace(in, t, os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "repro:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	var figs []int
-	if *fig == "all" {
-		for f := 4; f <= 12; f++ {
-			figs = append(figs, f)
-		}
-	} else {
-		f, err := strconv.Atoi(*fig)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "repro: bad figure %q\n", *fig)
-			os.Exit(2)
-		}
-		figs = []int{f}
 	}
 
-	fmt.Printf("generating inputs (scale=%s)...\n", sc.Name)
+	fmt.Fprintf(os.Stderr, "generating inputs (scale=%s)...\n", sc.Name)
 	in := harness.MakeInputs(sc)
-	for _, f := range figs {
-		fmt.Println()
-		if err := harness.Figure(f, in, threads, os.Stdout); err != nil {
+
+	// With -trace, every Galois run dispatched below feeds the same sink;
+	// the export then holds one process per run. Tracing is non-perturbing,
+	// so attaching it never changes the tables.
+	var tr *galois.Trace
+	if *tracePath != "" {
+		tr = galois.NewTrace(maxT)
+		in.TraceSink = tr
+	}
+
+	switch *fig {
+	case "":
+		// -bench-json only.
+	case "ext":
+		if err := harness.Extensions(in, sweep[len(sweep)-1], os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "repro:", err)
 			os.Exit(1)
 		}
+	case "window":
+		if err := harness.WindowTrace(in, sweep[len(sweep)-1], tr, os.Stdout, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+	default:
+		var figs []int
+		if *fig == "all" {
+			for f := 4; f <= 12; f++ {
+				figs = append(figs, f)
+			}
+		} else {
+			f, err := strconv.Atoi(*fig)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "repro: bad figure %q\n", *fig)
+				os.Exit(2)
+			}
+			figs = []int{f}
+		}
+		for _, f := range figs {
+			fmt.Println()
+			if err := harness.Figure(f, in, threads, os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "repro:", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	if *benchPath != "" {
+		fmt.Fprintf(os.Stderr, "measuring benchmark trajectory (threads=%d, scale=%s)...\n", maxT, sc.Name)
+		b := harness.CollectBench(in, maxT, sc.Name)
+		if err := b.WriteFile(*benchPath); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d entries to %s\n", len(b.Entries), *benchPath)
+	}
+	if tr != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		if err := tr.WriteChromeTrace(f); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote Chrome trace (%d events) to %s — load in Perfetto or chrome://tracing\n",
+			tr.Len(), *tracePath)
+		fmt.Fprint(os.Stderr, tr.Summary())
 	}
 }

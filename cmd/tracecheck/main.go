@@ -1,0 +1,31 @@
+// Command tracecheck validates that a file parses as Chrome trace-event
+// JSON (the format repro -trace emits and Perfetto loads). It exits 0 and
+// prints the event count on success, nonzero with a diagnostic otherwise —
+// the CI trace-smoke target uses it to prove emitted traces stay loadable
+// without needing Perfetto in the build image.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"galois/internal/obs"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json>")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+	n, err := obs.ValidateChromeTrace(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: valid Chrome trace JSON, %d events\n", os.Args[1], n)
+}

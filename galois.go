@@ -44,6 +44,7 @@ import (
 	"galois/internal/cachesim"
 	"galois/internal/core"
 	"galois/internal/marks"
+	"galois/internal/obs"
 	"galois/internal/stats"
 )
 
@@ -143,8 +144,45 @@ func WithPriority[T any](fn func(T) int, levels int) Option {
 	}
 }
 
-// WithTrace records per-round (window, committed) samples in Stats.Trace.
-func WithTrace() Option { return func(o *core.Options) { o.Trace = true } }
+// TraceSink receives scheduler trace events. The standard implementation is
+// *Trace (NewTrace); custom sinks must tolerate concurrent Emit calls from
+// distinct thread ids without synchronizing them against each other.
+type TraceSink = obs.Sink
+
+// Trace is the standard trace sink: per-thread lock-free buffers of
+// scheduler events with observational timestamps. After a traced run it can
+// be exported as Chrome trace-event JSON (WriteChromeTrace, loadable in
+// Perfetto or chrome://tracing), rendered as canonical timestamp-free lines
+// (CanonicalLines), or summarized (Summary).
+type Trace = obs.Trace
+
+// NewTrace returns a trace sink sized for runs of up to nthreads workers
+// (values below 1 mean 1). Attaching it to a run with more threads panics
+// when the loop starts.
+func NewTrace(nthreads int) *Trace { return obs.NewTrace(nthreads) }
+
+// Metrics is a registry of named counters and histograms populated by the
+// schedulers: per-round committed/failed distributions, acquire-failure
+// depths, and the run totals of Stats. Recording is lock-free per thread.
+type Metrics = obs.Registry
+
+// NewMetrics returns a metrics registry sized for runs of up to nthreads
+// workers (values below 1 mean 1).
+func NewMetrics(nthreads int) *Metrics { return obs.NewRegistry(nthreads) }
+
+// WithTrace attaches a trace sink to the run. Tracing is non-perturbing:
+// structural events are emitted only from serial sections of the
+// schedulers, so a traced deterministic run commits byte-identical output
+// to an untraced one — timestamps are observational, never read back.
+func WithTrace(sink TraceSink) Option { return func(o *core.Options) { o.Sink = sink } }
+
+// WithMetrics attaches a metrics registry to the run. Counters accumulate
+// across runs sharing the registry.
+func WithMetrics(m *Metrics) Option { return func(o *core.Options) { o.Metrics = m } }
+
+// WithRoundSamples records per-round (window, committed) samples in
+// Stats.Trace.
+func WithRoundSamples() Option { return func(o *core.Options) { o.Trace = true } }
 
 // WithProfile attaches a locality tracer that records every Acquire for the
 // reuse-distance analysis of §5.4.

@@ -33,6 +33,8 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 func TestOptionPlumbing(t *testing.T) {
 	var c counter
 	tr := galois.NewTracer(2)
+	sink := galois.NewTrace(2)
+	met := galois.NewMetrics(2)
 	st := galois.ForEach([]int{1, 2, 3}, func(ctx *galois.Ctx[int], _ int) {
 		ctx.Acquire(&c.Lockable)
 	},
@@ -41,7 +43,9 @@ func TestOptionPlumbing(t *testing.T) {
 		galois.WithoutContinuation(),
 		galois.WithLocalityInterleave(false),
 		galois.WithWindow(8, 4, 0.9),
-		galois.WithTrace(),
+		galois.WithRoundSamples(),
+		galois.WithTrace(sink),
+		galois.WithMetrics(met),
 		galois.WithProfile(tr),
 		galois.WithFIFO(),
 	)
@@ -49,11 +53,30 @@ func TestOptionPlumbing(t *testing.T) {
 		t.Fatalf("commits = %d", st.Commits)
 	}
 	if len(st.Trace) == 0 {
-		t.Fatal("WithTrace produced no samples")
+		t.Fatal("WithRoundSamples produced no samples")
+	}
+	if sink.Len() == 0 {
+		t.Fatal("WithTrace buffered no events")
+	}
+	if len(sink.Rounds()) == 0 {
+		t.Fatal("trace has no round events")
+	}
+	if met.Counter("run.commits").Value() != 3 {
+		t.Fatalf("metrics run.commits = %d", met.Counter("run.commits").Value())
 	}
 	if tr.Len() == 0 {
 		t.Fatal("WithProfile recorded no accesses")
 	}
+}
+
+func TestTraceCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic: 1-thread trace on a 2-thread run")
+		}
+	}()
+	galois.ForEach([]int{1}, func(ctx *galois.Ctx[int], _ int) {},
+		galois.WithThreads(2), galois.WithTrace(galois.NewTrace(1)))
 }
 
 func TestSchedulerStringNames(t *testing.T) {

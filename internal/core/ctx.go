@@ -69,6 +69,7 @@ type Ctx[T any] struct {
 	ops int // batched atomic-op count, flushed to col per task
 	col *stats.Collector
 	pro *cachesim.Tracer
+	met *coreMetrics
 }
 
 func (c *Ctx[T]) reset(tid int, m mode, rec *marks.Rec) {
@@ -115,6 +116,9 @@ func (c *Ctx[T]) Acquire(l *marks.Lockable) {
 		ok, ops := l.TryAcquire(c.rec)
 		c.ops += ops
 		if !ok {
+			if c.met != nil {
+				c.met.failDepth.Observe(c.tid, int64(len(c.acquired)))
+			}
 			panic(conflictSignal{})
 		}
 		if len(c.acquired) == 0 || c.acquired[len(c.acquired)-1] != l {
@@ -138,6 +142,9 @@ func (c *Ctx[T]) Acquire(l *marks.Lockable) {
 			// A higher-id task holds the mark; this task cannot
 			// commit this round, but inspection continues so the
 			// remaining locations still observe its id.
+			if c.met != nil && !c.failed {
+				c.met.failDepth.Observe(c.tid, int64(len(c.acquired)))
+			}
 			c.failed = true
 			c.rec.Prevented.Store(true)
 			c.ops++

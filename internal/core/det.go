@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"galois/internal/marks"
+	"galois/internal/obs"
 	"galois/internal/para"
 	"galois/internal/stats"
 )
@@ -33,14 +34,15 @@ func runDeterministic[T any](items []T, body func(*Ctx[T], T), opt Options, col 
 		return
 	}
 	nthreads := opt.Threads
+	met := newCoreMetrics(opt.Metrics)
 
 	ctxs := make([]*Ctx[T], nthreads)
 	for i := range ctxs {
-		ctxs[i] = &Ctx[T]{threads: nthreads, det: true, col: col, pro: opt.Profile}
+		ctxs[i] = &Ctx[T]{threads: nthreads, det: true, col: col, pro: opt.Profile, met: met}
 	}
 
 	gen := makeGeneration[T](len(items), func(i int) T { return items[i] })
-	for len(gen) > 0 {
+	for genIdx := int32(0); len(gen) > 0; genIdx++ {
 		win := newWindowPolicy(len(gen), opt)
 		if opt.LocalityInterleave {
 			gen = interleavePermute(gen, win.size)
@@ -50,11 +52,17 @@ func runDeterministic[T any](items []T, body func(*Ctx[T], T), opt Options, col 
 		for i, t := range gen {
 			t.rec.Reset(uint64(i) + 1)
 		}
-		produced := runGeneration(gen, body, opt, col, ctxs, &win, nthreads)
+		emit(opt.Sink, 0, obs.Event{Kind: obs.KindGenStart, Gen: genIdx,
+			Args: [4]int64{int64(len(gen))}})
+		produced := runGeneration(gen, body, opt, col, ctxs, &win, nthreads, genIdx, met)
+		emit(opt.Sink, 0, obs.Event{Kind: obs.KindGenEnd, Gen: genIdx,
+			Args: [4]int64{int64(len(produced))}})
 		if len(produced) == 0 {
 			return
 		}
 		sortChildren(produced, opt.PreassignedIDs, opt.Threads)
+		emit(opt.Sink, 0, obs.Event{Kind: obs.KindGenSort, Gen: genIdx,
+			Args: [4]int64{int64(len(produced))}})
 		gen = makeGeneration[T](len(produced), func(i int) T { return produced[i].item })
 	}
 }
@@ -75,7 +83,8 @@ func makeGeneration[T any](n int, item func(int) T) []*detTask[T] {
 // barrier, mirroring the barrier structure of Figure 2; worker 0 doubles as
 // the round coordinator.
 func runGeneration[T any](gen []*detTask[T], body func(*Ctx[T], T), opt Options,
-	col *stats.Collector, ctxs []*Ctx[T], win *windowPolicy, nthreads int) []child[T] {
+	col *stats.Collector, ctxs []*Ctx[T], win *windowPolicy, nthreads int,
+	genIdx int32, met *coreMetrics) []child[T] {
 
 	var (
 		produced []child[T]
@@ -87,6 +96,10 @@ func runGeneration[T any](gen []*detTask[T], body func(*Ctx[T], T), opt Options,
 		exeCtr   atomic.Int64
 		chunk    int64
 	)
+	sink := opt.Sink
+	// round is written only in serial sections (pre-fork, then worker 0's
+	// coordinator block), like the rest of the round state.
+	round := int32(-1)
 
 	setupRound := func() {
 		if len(next) == 0 {
@@ -95,6 +108,9 @@ func runGeneration[T any](gen []*detTask[T], body func(*Ctx[T], T), opt Options,
 		}
 		w := win.next(len(next))
 		cur, rest = next[:w:w], next[w:]
+		round++
+		emit(sink, 0, obs.Event{Kind: obs.KindRoundStart, Gen: genIdx, Round: round,
+			Args: [4]int64{int64(w), int64(len(rest))}})
 		chunk = int64(w / (nthreads * 8))
 		if chunk < 1 {
 			chunk = 1
@@ -166,7 +182,28 @@ func runGeneration[T any](gen []*detTask[T], body func(*Ctx[T], T), opt Options,
 					panic("galois: deterministic round committed no tasks")
 				}
 				col.Round(len(cur), committed)
-				win.update(len(cur), committed)
+				emit(sink, 0, obs.Event{Kind: obs.KindRoundEnd, Gen: genIdx, Round: round,
+					Args: [4]int64{int64(len(cur)), int64(committed), int64(len(failed))}})
+				if opt.Continuation {
+					// §3.3 continuation aggregates: every task in the
+					// round suspended at its failsafe point during
+					// inspect; the committed ones resumed.
+					emit(sink, 0, obs.Event{Kind: obs.KindSuspend, Gen: genIdx,
+						Round: round, Args: [4]int64{int64(len(cur))}})
+					emit(sink, 0, obs.Event{Kind: obs.KindResume, Gen: genIdx,
+						Round: round, Args: [4]int64{int64(committed)}})
+				}
+				if met != nil {
+					met.tasksPerRound.Observe(0, int64(committed))
+					met.abortsPerRound.Observe(0, int64(len(failed)))
+				}
+				dec := win.update(len(cur), committed)
+				grew := int64(0)
+				if dec.Grew {
+					grew = 1
+				}
+				emit(sink, 0, obs.Event{Kind: obs.KindWindow, Gen: genIdx, Round: round,
+					Args: [4]int64{int64(dec.Before), int64(dec.After), dec.RatioPermille, grew}})
 				if len(failed) > 0 {
 					// Failed tasks keep their priority: they
 					// precede untried tasks in the next round.

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"fmt"
+
+	"galois/internal/obs"
 	"galois/internal/para"
 	"galois/internal/stats"
 )
@@ -13,10 +16,27 @@ func ForEach[T any](items []T, body func(*Ctx[T], T), opt Options) stats.Stats {
 	if opt.Threads <= 0 {
 		opt.Threads = para.DefaultThreads()
 	}
+	// Per-thread sinks and registries are sized at construction; growing
+	// them lock-free mid-run is impossible, so undersizing is a programming
+	// error caught before any worker starts.
+	if tr, ok := opt.Sink.(*obs.Trace); ok && tr != nil && tr.Threads() < opt.Threads {
+		panic(fmt.Sprintf("galois: trace sized for %d threads attached to a %d-thread run",
+			tr.Threads(), opt.Threads))
+	}
+	if opt.Metrics != nil && opt.Metrics.Threads() < opt.Threads {
+		panic(fmt.Sprintf("galois: metrics registry sized for %d threads attached to a %d-thread run",
+			opt.Metrics.Threads(), opt.Threads))
+	}
 	col := stats.NewCollector(opt.Threads)
 	if opt.Trace {
 		col.EnableTrace()
 	}
+	sched := int64(0)
+	if opt.Sched == Deterministic {
+		sched = 1
+	}
+	emit(opt.Sink, 0, obs.Event{Kind: obs.KindRunStart,
+		Args: [4]int64{sched, int64(opt.Threads), int64(len(items))}})
 	col.Start()
 	switch opt.Sched {
 	case Deterministic:
@@ -25,5 +45,11 @@ func ForEach[T any](items []T, body func(*Ctx[T], T), opt Options) stats.Stats {
 		runNonDeterministic(items, body, opt, col)
 	}
 	col.Stop()
-	return col.Snapshot()
+	st := col.Snapshot()
+	emit(opt.Sink, 0, obs.Event{Kind: obs.KindRunEnd,
+		Args: [4]int64{int64(st.Commits), int64(st.Aborts), int64(st.Rounds)}})
+	if opt.Metrics != nil {
+		obs.PublishStats(opt.Metrics, st)
+	}
+	return st
 }

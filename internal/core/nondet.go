@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"galois/internal/marks"
+	"galois/internal/obs"
 	"galois/internal/para"
 	"galois/internal/stats"
 	"galois/internal/worklist"
@@ -59,8 +60,13 @@ func runNonDeterministic[T any](items []T, body func(*Ctx[T], T), opt Options, c
 	var pending atomic.Int64
 	pending.Store(int64(len(items)))
 
+	met := newCoreMetrics(opt.Metrics)
 	para.Run(nthreads, func(tid int) {
-		ctx := &Ctx[T]{threads: nthreads, det: false, col: col, pro: opt.Profile}
+		ctx := &Ctx[T]{threads: nthreads, det: false, col: col, pro: opt.Profile, met: met}
+		// Per-worker tallies for the worker-summary trace event. The
+		// event goes to the worker's own lock-free buffer, so emission
+		// adds no synchronization between workers.
+		var commits, aborts int64
 		rec := &marks.Rec{}
 		// Ids only need to be unique for the non-deterministic marks
 		// protocol (§2.1); pointer identity of rec provides that, and
@@ -72,6 +78,8 @@ func runNonDeterministic[T any](items []T, body func(*Ctx[T], T), opt Options, c
 			item, ok := wl.Pop(tid)
 			if !ok {
 				if pending.Load() == 0 {
+					emit(opt.Sink, tid, obs.Event{Kind: obs.KindWorker,
+						Args: [4]int64{commits, aborts}})
 					return
 				}
 				runtime.Gosched()
@@ -89,6 +97,7 @@ func runNonDeterministic[T any](items []T, body func(*Ctx[T], T), opt Options, c
 				}
 				ctx.flushOps()
 				col.Abort(tid)
+				aborts++
 				wl.Push(tid, item)
 				// Brief backoff reduces livelock between
 				// symmetric conflicting tasks.
@@ -121,6 +130,7 @@ func runNonDeterministic[T any](items []T, body func(*Ctx[T], T), opt Options, c
 			}
 			ctx.flushOps()
 			col.Commit(tid)
+			commits++
 			pending.Add(-1)
 		}
 	})

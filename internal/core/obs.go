@@ -1,0 +1,40 @@
+package core
+
+import "galois/internal/obs"
+
+// emit forwards ev to the run's trace sink, if any. Structural scheduler
+// events (run, generation, round, window) are emitted only from serial
+// sections — before workers fork, after they join, or inside worker 0's
+// coordinator block between barriers — so the event sequence is a pure
+// function of the schedule and never perturbs it.
+func emit(sink obs.Sink, tid int, ev obs.Event) {
+	if sink != nil {
+		sink.Emit(tid, ev)
+	}
+}
+
+// coreMetrics bundles the registry instruments the schedulers record into.
+// All instruments are per-thread and lock-free to record, so attaching a
+// registry does not add synchronization to the run.
+type coreMetrics struct {
+	// tasksPerRound counts committed tasks per deterministic round.
+	tasksPerRound *obs.Histogram
+	// abortsPerRound counts failed tasks per deterministic round.
+	abortsPerRound *obs.Histogram
+	// failDepth is the neighborhood size already acquired when an Acquire
+	// failed — how deep into its neighborhood a task got before losing.
+	failDepth *obs.Histogram
+}
+
+// newCoreMetrics registers the scheduler instruments in reg, or returns nil
+// when no registry is attached.
+func newCoreMetrics(reg *obs.Registry) *coreMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &coreMetrics{
+		tasksPerRound:  reg.Histogram("round.committed", obs.Pow2Bounds(1<<20)),
+		abortsPerRound: reg.Histogram("round.failed", obs.Pow2Bounds(1<<20)),
+		failDepth:      reg.Histogram("acquire.fail_depth", obs.Pow2Bounds(1<<12)),
+	}
+}

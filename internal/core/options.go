@@ -2,6 +2,7 @@ package core
 
 import (
 	"galois/internal/cachesim"
+	"galois/internal/obs"
 	"galois/internal/para"
 )
 
@@ -82,6 +83,17 @@ type Options struct {
 
 	// Trace enables per-round statistics samples.
 	Trace bool
+
+	// Sink, if non-nil, receives scheduler trace events (internal/obs).
+	// Tracing is non-perturbing: structural events are emitted only from
+	// serial sections of the schedulers, so the committed output and the
+	// event sequence of a deterministic run are unchanged by attaching a
+	// sink. If the sink is an *obs.Trace, it must be sized for at least
+	// Threads workers (checked at loop start).
+	Sink obs.Sink
+	// Metrics, if non-nil, receives counters and histograms describing the
+	// run. Must be sized for at least Threads workers.
+	Metrics *obs.Registry
 
 	// Profile, if non-nil, records abstract-location accesses for the
 	// locality study of §5.4 (Figures 11 and 12).

@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"fmt"
+
+	"galois/internal/obs"
+)
+
+// variantSched maps a harness variant name to its scheduler family for
+// benchmark-trajectory entries.
+func variantSched(variant string) string {
+	switch variant {
+	case "seq":
+		return "seq"
+	case "g-n":
+		return "nondet"
+	case "g-d", "g-dnc":
+		return "det"
+	case "pbbs":
+		return "pbbs"
+	default:
+		return variant
+	}
+}
+
+// BenchEntry converts one measured run into a benchmark-trajectory entry
+// (BENCH_<n>.json). The fingerprint and round count make behavior
+// regressions diffable independently of the wall-clock trajectory.
+func BenchEntry(r Run, scale string) obs.BenchEntry {
+	commits, aborts := r.Stats.Commits, r.Stats.Aborts
+	ratio := 0.0
+	if commits+aborts > 0 {
+		ratio = float64(commits) / float64(commits+aborts)
+	}
+	return obs.BenchEntry{
+		App:         r.App,
+		Variant:     r.Variant,
+		Sched:       variantSched(r.Variant),
+		Threads:     r.Threads,
+		Scale:       scale,
+		WallNS:      r.Elapsed.Nanoseconds(),
+		Commits:     commits,
+		Aborts:      aborts,
+		Rounds:      r.Stats.Rounds,
+		CommitRatio: ratio,
+		MeanWindow:  r.Stats.MeanWindow(),
+		Fingerprint: fmt.Sprintf("%016x", r.Fingerprint),
+	}
+}
+
+// CollectBench measures every app × Galois-scheduler variant once at the
+// given thread count and returns the trajectory document. Used by
+// `repro -bench-json` and the benchmark suite to produce BENCH_<n>.json.
+func CollectBench(in *Inputs, threads int, scale string) *obs.Bench {
+	b := obs.NewBench()
+	for _, app := range Apps {
+		for _, variant := range []string{"g-n", "g-d", "g-dnc"} {
+			if !HasVariant(app, variant) {
+				continue
+			}
+			b.Add(BenchEntry(in.RunOnce(app, variant, threads, nil), scale))
+		}
+	}
+	return b
+}

@@ -7,17 +7,12 @@ import (
 	"time"
 
 	"galois"
-	"galois/internal/apps/bfs"
 	"galois/internal/apps/blackscholes"
 	"galois/internal/apps/bodytrack"
 	"galois/internal/apps/cavity"
-	"galois/internal/apps/dmr"
-	"galois/internal/apps/dt"
 	"galois/internal/apps/freqmine"
-	"galois/internal/apps/mis"
 	"galois/internal/apps/mm"
 	"galois/internal/apps/msf"
-	"galois/internal/apps/pfp"
 	"galois/internal/apps/sssp"
 	"galois/internal/cachesim"
 	"galois/internal/coredet"
@@ -29,40 +24,34 @@ import (
 // deterministic run of each app — the §3.2 calculateWindow mechanism made
 // visible. Not a paper figure; a bonus diagnostic for the parameterless
 // claim (the trace depends only on commit counts, never on threads).
-func WindowTrace(in *Inputs, threads int, w io.Writer) error {
+//
+// The per-round data comes from the obs trace sink tr, which accumulates
+// every app's events and can afterwards be exported as Chrome trace JSON;
+// pass nil to use a throwaway sink. Figure tables go to w; progress
+// diagnostics go to diag (so `repro ... > table.txt` stays clean).
+func WindowTrace(in *Inputs, threads int, tr *galois.Trace, w, diag io.Writer) error {
+	if tr == nil {
+		tr = galois.NewTrace(threads)
+	}
+	prev := in.TraceSink
+	in.TraceSink = tr
+	defer func() { in.TraceSink = prev }()
+
 	fmt.Fprintf(w, "Adaptive window trace (threads=%d; identical for any thread count)\n", threads)
 	for _, app := range Apps {
-		r := in.runTraced(app, threads)
+		fmt.Fprintf(diag, "tracing %s (g-d, %d threads)\n", app, threads)
+		before := len(tr.Rounds())
+		r := in.RunOnce(app, "g-d", threads, nil)
+		rounds := tr.Rounds()[before:]
 		fmt.Fprintf(w, "\n%s: %d rounds, mean window %.1f\n  round:window/committed ",
 			app, r.Stats.Rounds, r.Stats.MeanWindow())
-		step := len(r.Stats.Trace)/12 + 1
-		for i := 0; i < len(r.Stats.Trace); i += step {
-			s := r.Stats.Trace[i]
-			fmt.Fprintf(w, " %d:%d/%d", i, s.Window, s.Committed)
+		step := len(rounds)/12 + 1
+		for i := 0; i < len(rounds); i += step {
+			fmt.Fprintf(w, " %d:%d/%d", i, rounds[i].Window, rounds[i].Committed)
 		}
 		fmt.Fprintln(w)
 	}
 	return nil
-}
-
-func (in *Inputs) runTraced(app string, threads int) Run {
-	r := Run{App: app, Variant: "g-d", Threads: threads}
-	opts := []galois.Option{galois.WithThreads(threads),
-		galois.WithSched(galois.Deterministic), galois.WithTrace()}
-	switch app {
-	case "bfs":
-		r.Stats = bfs.Galois(in.bfsGraph, 0, opts...).Stats
-	case "mis":
-		r.Stats = mis.Galois(in.bfsGraph, opts...).Stats
-	case "dt":
-		r.Stats = dt.Galois(in.dtPoints, in.sc.Seed+3, opts...).Stats
-	case "dmr":
-		r.Stats = dmr.Galois(dmr.MakeInput(in.dmrPts, in.sc.Seed+4), dmr.DefaultQuality(), opts...).Stats
-	case "pfp":
-		in.pfpNet.Reset()
-		_, r.Stats = pfp.Galois(in.pfpNet, opts...)
-	}
-	return r
 }
 
 // Extensions renders the library-extension comparison (mm, msf, sssp —

@@ -98,6 +98,14 @@ type Inputs struct {
 	dmrPts   int
 	pfpNet   *pfp.Network
 	memo     map[string]Run
+
+	// TraceSink, if non-nil, is attached to every Galois-variant run
+	// dispatched through this Inputs. Sinks must be sized for the largest
+	// thread count that will run. Tracing is non-perturbing (see
+	// internal/obs), so measurements and fingerprints are unchanged.
+	TraceSink galois.TraceSink
+	// Metrics, if non-nil, is attached to every Galois-variant run.
+	Metrics *galois.Metrics
 }
 
 // MakeInputs generates all inputs for sc once.
@@ -121,8 +129,9 @@ type Run struct {
 	Fingerprint  uint64
 }
 
-// galoisOpts translates a variant name to scheduler options.
-func galoisOpts(variant string, threads int, profile *cachesim.Tracer) []galois.Option {
+// galoisOpts translates a variant name to scheduler options, attaching the
+// Inputs' trace sink and metrics registry when present.
+func (in *Inputs) galoisOpts(variant string, threads int, profile *cachesim.Tracer) []galois.Option {
 	opts := []galois.Option{galois.WithThreads(threads)}
 	switch variant {
 	case "g-n":
@@ -135,6 +144,12 @@ func galoisOpts(variant string, threads int, profile *cachesim.Tracer) []galois.
 	}
 	if profile != nil {
 		opts = append(opts, galois.WithProfile(profile))
+	}
+	if in.TraceSink != nil {
+		opts = append(opts, galois.WithTrace(in.TraceSink))
+	}
+	if in.Metrics != nil {
+		opts = append(opts, galois.WithMetrics(in.Metrics))
 	}
 	return opts
 }
@@ -155,7 +170,7 @@ func (in *Inputs) RunOnce(app, variant string, threads int, profile *cachesim.Tr
 		case "pbbs":
 			res = bfs.PBBS(in.bfsGraph, 0, threads)
 		default:
-			res = bfs.Galois(in.bfsGraph, 0, galoisOpts(variant, threads, profile)...)
+			res = bfs.Galois(in.bfsGraph, 0, in.galoisOpts(variant, threads, profile)...)
 		}
 		r.Stats = res.Stats
 		r.Fingerprint = res.Fingerprint()
@@ -167,7 +182,7 @@ func (in *Inputs) RunOnce(app, variant string, threads int, profile *cachesim.Tr
 		case "pbbs":
 			res = mis.PBBS(in.bfsGraph, threads)
 		default:
-			res = mis.Galois(in.bfsGraph, galoisOpts(variant, threads, profile)...)
+			res = mis.Galois(in.bfsGraph, in.galoisOpts(variant, threads, profile)...)
 		}
 		r.Stats = res.Stats
 		r.Fingerprint = res.Fingerprint()
@@ -179,7 +194,7 @@ func (in *Inputs) RunOnce(app, variant string, threads int, profile *cachesim.Tr
 		case "pbbs":
 			res = dt.PBBSProfiled(in.dtPoints, in.sc.Seed+3, threads, 0, profile)
 		default:
-			res = dt.Galois(in.dtPoints, in.sc.Seed+3, galoisOpts(variant, threads, profile)...)
+			res = dt.Galois(in.dtPoints, in.sc.Seed+3, in.galoisOpts(variant, threads, profile)...)
 		}
 		r.Stats = res.Stats
 		r.Fingerprint = res.Fingerprint()
@@ -194,7 +209,7 @@ func (in *Inputs) RunOnce(app, variant string, threads int, profile *cachesim.Tr
 		case "pbbs":
 			res = dmr.PBBSProfiled(root, q, threads, 0, profile)
 		default:
-			res = dmr.Galois(root, q, galoisOpts(variant, threads, profile)...)
+			res = dmr.Galois(root, q, in.galoisOpts(variant, threads, profile)...)
 		}
 		r.Stats = res.Stats
 		r.Fingerprint = res.Fingerprint()
@@ -211,7 +226,7 @@ func (in *Inputs) RunOnce(app, variant string, threads int, profile *cachesim.Tr
 			// should not request one.
 			panic("harness: pfp has no pbbs variant")
 		default:
-			val, st = pfp.Galois(in.pfpNet, galoisOpts(variant, threads, profile)...)
+			val, st = pfp.Galois(in.pfpNet, in.galoisOpts(variant, threads, profile)...)
 		}
 		r.Stats = st
 		r.Fingerprint = uint64(val)

@@ -3,6 +3,9 @@ package harness
 import (
 	"strings"
 	"testing"
+
+	"galois"
+	"galois/internal/obs"
 )
 
 func smallInputs() *Inputs { return MakeInputs(SmallScale()) }
@@ -55,7 +58,9 @@ func TestDeterministicVariantsAgreeAcrossThreads(t *testing.T) {
 // TestPortabilityThreadSweep is the paper's portability claim (§1, §5.1)
 // as an executable regression: under the DIG scheduler — with and without
 // the continuation optimization — every registered app commits a
-// byte-identical output fingerprint at 1, 2, 4 and 8 threads.
+// byte-identical output fingerprint at 1, 2, 4 and 8 threads, and
+// attaching a trace sink (plus a metrics registry) leaves every one of
+// those fingerprints unchanged — observability is non-perturbing.
 func TestPortabilityThreadSweep(t *testing.T) {
 	in := smallInputs()
 	threads := []int{1, 2, 4, 8}
@@ -71,6 +76,56 @@ func TestPortabilityThreadSweep(t *testing.T) {
 				if r.Fingerprint != want {
 					t.Errorf("%s/%s: fingerprint %#x at %d threads, want %#x (as at %d threads)",
 						app, variant, r.Fingerprint, th, want, threads[0])
+				}
+			}
+			// Traced runs must commit the identical fingerprint.
+			in.TraceSink = galois.NewTrace(8)
+			in.Metrics = galois.NewMetrics(8)
+			for _, th := range threads {
+				r := in.RunOnce(app, variant, th, nil)
+				if r.Fingerprint != want {
+					t.Errorf("%s/%s: traced fingerprint %#x at %d threads != untraced %#x — tracing perturbed the run",
+						app, variant, r.Fingerprint, th, want)
+				}
+			}
+			in.TraceSink, in.Metrics = nil, nil
+		}
+	}
+}
+
+// TestTraceEventSequenceThreadInvariant is the trace-level portability
+// claim: for a deterministic run, the canonical (timestamp-stripped) event
+// sequence — generations, rounds, window decisions — is identical at 1, 2,
+// 4 and 8 threads, because every structural event is a pure function of
+// the schedule and the schedule is a pure function of the input.
+func TestTraceEventSequenceThreadInvariant(t *testing.T) {
+	in := smallInputs()
+	for _, app := range Apps {
+		for _, variant := range []string{"g-d", "g-dnc"} {
+			var want []string
+			for _, th := range []int{1, 2, 4, 8} {
+				tr := galois.NewTrace(th)
+				in.TraceSink = tr
+				in.RunOnce(app, variant, th, nil)
+				in.TraceSink = nil
+				got := tr.CanonicalLines()
+				if want == nil {
+					want = got
+					if len(want) == 0 {
+						t.Fatalf("%s/%s: traced run emitted no events", app, variant)
+					}
+					continue
+				}
+				if len(got) != len(want) {
+					t.Errorf("%s/%s: %d events at %d threads, want %d", app, variant, len(got), th, len(want))
+					continue
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Errorf("%s/%s: event %d at %d threads = %q, want %q",
+							app, variant, i, th, got[i], want[i])
+						break
+					}
 				}
 			}
 		}
@@ -139,14 +194,54 @@ func TestDefaultThreadSweep(t *testing.T) {
 
 func TestWindowTraceRenders(t *testing.T) {
 	in := smallInputs()
-	var sb strings.Builder
-	if err := WindowTrace(in, 2, &sb); err != nil {
+	tr := galois.NewTrace(2)
+	var sb, diag strings.Builder
+	if err := WindowTrace(in, 2, tr, &sb, &diag); err != nil {
 		t.Fatal(err)
 	}
 	for _, app := range Apps {
 		if !strings.Contains(sb.String(), app+":") {
 			t.Fatalf("window trace missing %s", app)
 		}
+	}
+	// The figure table and the progress diagnostics are separate streams.
+	if strings.Contains(sb.String(), "tracing ") {
+		t.Fatal("diagnostics leaked into the figure table")
+	}
+	if !strings.Contains(diag.String(), "tracing ") {
+		t.Fatal("no progress diagnostics emitted")
+	}
+	// The sink accumulated all five app runs and exports valid Chrome JSON.
+	if got := len(tr.Rounds()); got == 0 {
+		t.Fatal("sink captured no rounds")
+	}
+	var js strings.Builder
+	if err := tr.WriteChromeTrace(&js); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.ValidateChromeTrace([]byte(js.String())); err != nil {
+		t.Fatalf("window-trace chrome export invalid: %v", err)
+	}
+}
+
+func TestBenchEntryFromRun(t *testing.T) {
+	in := smallInputs()
+	r := in.RunOnce("mis", "g-d", 2, nil)
+	e := BenchEntry(r, "small")
+	if e.App != "mis" || e.Sched != "det" || e.Threads != 2 || e.Scale != "small" {
+		t.Fatalf("entry = %+v", e)
+	}
+	if e.Commits == 0 || e.Rounds == 0 || e.WallNS <= 0 {
+		t.Fatalf("entry missing measurements: %+v", e)
+	}
+	if e.CommitRatio <= 0 || e.CommitRatio > 1 {
+		t.Fatalf("commit ratio out of range: %v", e.CommitRatio)
+	}
+	if len(e.Fingerprint) != 16 {
+		t.Fatalf("fingerprint not 16 hex chars: %q", e.Fingerprint)
+	}
+	if variantSched("g-n") != "nondet" || variantSched("seq") != "seq" || variantSched("pbbs") != "pbbs" {
+		t.Fatal("variant→sched mapping changed")
 	}
 }
 

@@ -13,17 +13,24 @@ import (
 //	# comment
 //	critical <module-relative path prefix>
 //	exempt   <module-relative path prefix>
+//	exempt   <module-relative path prefix> <rule[,rule...]>
 //
 // "critical" marks packages on the deterministic path: all passes run
-// there. "exempt" removes packages from analysis entirely and wins over
-// critical; it is the allowlist for measurement-only code (internal/stats,
-// internal/harness) that reads the wall clock by design. The prefix "*"
-// matches every package. Paths are module-relative ("internal/core"); a
-// prefix matches itself and everything below it ("internal/apps" covers
-// "internal/apps/bfs").
+// there. "exempt" with one field removes packages from analysis entirely
+// and wins over critical; it is the allowlist for measurement-only code
+// (internal/stats, internal/harness) that reads the wall clock by design.
+// "exempt" with a rule list disables only those rules for the prefix while
+// every other pass still runs — the right scope for packages like
+// internal/obs that read the clock by design (observational timestamps)
+// but must still never range over maps or draw global randomness when
+// building event payloads. The prefix "*" matches every package. Paths are
+// module-relative ("internal/core"); a prefix matches itself and
+// everything below it ("internal/apps" covers "internal/apps/bfs").
 type Config struct {
 	CriticalPrefixes []string
 	ExemptPrefixes   []string
+	// RuleExemptions maps a path prefix to the pass names disabled there.
+	RuleExemptions map[string][]string
 }
 
 // DefaultConfig covers this repository's layout: every package is critical
@@ -32,6 +39,7 @@ func DefaultConfig() *Config {
 	return &Config{
 		CriticalPrefixes: []string{"*"},
 		ExemptPrefixes:   []string{"internal/harness", "internal/stats", "internal/cachesim", "internal/linreg", "internal/lint", "examples"},
+		RuleExemptions:   map[string][]string{"internal/obs": {"wallclock"}},
 	}
 }
 
@@ -48,15 +56,32 @@ func ParseConfig(path string) (*Config, error) {
 			continue
 		}
 		fields := strings.Fields(line)
-		if len(fields) != 2 {
-			return nil, fmt.Errorf("%s:%d: want `critical <prefix>` or `exempt <prefix>`, got %q", path, i+1, line)
+		if len(fields) != 2 && !(len(fields) == 3 && fields[0] == "exempt") {
+			return nil, fmt.Errorf("%s:%d: want `critical <prefix>`, `exempt <prefix>` or `exempt <prefix> <rule,...>`, got %q", path, i+1, line)
 		}
 		prefix := strings.Trim(fields[1], "/")
 		switch fields[0] {
 		case "critical":
 			cfg.CriticalPrefixes = append(cfg.CriticalPrefixes, prefix)
 		case "exempt":
-			cfg.ExemptPrefixes = append(cfg.ExemptPrefixes, prefix)
+			if len(fields) == 2 {
+				cfg.ExemptPrefixes = append(cfg.ExemptPrefixes, prefix)
+				break
+			}
+			known := make(map[string]bool)
+			for _, p := range Passes() {
+				known[p.Name] = true
+			}
+			for _, rule := range strings.Split(fields[2], ",") {
+				rule = strings.TrimSpace(rule)
+				if !known[rule] {
+					return nil, fmt.Errorf("%s:%d: unknown rule %q (have: %s)", path, i+1, rule, ruleNames())
+				}
+				if cfg.RuleExemptions == nil {
+					cfg.RuleExemptions = make(map[string][]string)
+				}
+				cfg.RuleExemptions[prefix] = append(cfg.RuleExemptions[prefix], rule)
+			}
 		default:
 			return nil, fmt.Errorf("%s:%d: unknown directive %q", path, i+1, fields[0])
 		}
@@ -70,6 +95,22 @@ func (c *Config) Critical(rel string) bool { return matchAny(c.CriticalPrefixes,
 
 // Exempt reports whether rel is excluded from analysis.
 func (c *Config) Exempt(rel string) bool { return matchAny(c.ExemptPrefixes, rel) }
+
+// ExemptRule reports whether the named rule is disabled for rel by a
+// rule-scoped exemption. Other rules still run on rel.
+func (c *Config) ExemptRule(rel, rule string) bool {
+	for prefix, rules := range c.RuleExemptions {
+		if !matchAny([]string{prefix}, rel) {
+			continue
+		}
+		for _, r := range rules {
+			if r == rule {
+				return true
+			}
+		}
+	}
+	return false
+}
 
 func matchAny(prefixes []string, rel string) bool {
 	for _, p := range prefixes {

@@ -90,6 +90,9 @@ func Run(cfg *Config, pkgs []*Package) []Finding {
 			if !critical && !pass.Everywhere {
 				continue
 			}
+			if cfg.ExemptRule(pkg.Rel, pass.Name) {
+				continue
+			}
 			u := &Unit{Pkg: pkg, Cfg: cfg, pass: pass}
 			pass.Run(u)
 			out = append(out, u.findings...)

@@ -101,6 +101,34 @@ func TestGlobalRandPass(t *testing.T)     { checkFixture(t, "globalrand") }
 func TestCautiousPass(t *testing.T)       { checkFixture(t, "cautious") }
 func TestGoroutineOrderPass(t *testing.T) { checkFixture(t, "goroutineorder") }
 
+// TestObsScopeAllRulesFire proves the obsscope fixture seeds real hazards:
+// with no rule exemptions both the clock read and the map-range payload
+// are flagged.
+func TestObsScopeAllRulesFire(t *testing.T) { checkFixture(t, "obsscope") }
+
+// TestObsScopeRuleExemption is the internal/obs configuration in miniature:
+// `exempt <pkg> wallclock` silences only the wallclock rule, while an obs
+// event payload built from a map range is still flagged.
+func TestObsScopeRuleExemption(t *testing.T) {
+	pkg := loadFixture(t, "obsscope")
+	cfg := &Config{
+		CriticalPrefixes: []string{"*"},
+		RuleExemptions:   map[string][]string{"fixture/obsscope": {"wallclock"}},
+	}
+	findings := Run(cfg, []*Package{pkg})
+	if len(findings) != 1 {
+		t.Fatalf("want exactly the maprange finding, got %v", findings)
+	}
+	if findings[0].Rule != "maprange" {
+		t.Fatalf("want maprange, got %s", findings[0])
+	}
+	for _, f := range findings {
+		if f.Rule == "wallclock" {
+			t.Fatalf("wallclock finding survived its rule-scoped exemption: %s", f)
+		}
+	}
+}
+
 func TestMalformedDirectivesAreReported(t *testing.T) {
 	pkg := loadFixture(t, "directive")
 	cfg := &Config{CriticalPrefixes: []string{"*"}}
@@ -181,6 +209,55 @@ func TestConfigParse(t *testing.T) {
 	}
 	if _, err := ParseConfig(bad); err == nil {
 		t.Error("malformed config accepted")
+	}
+}
+
+func TestConfigParseRuleScopedExemptions(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "detlint.conf")
+	content := "critical *\nexempt internal/obs wallclock\nexempt internal/stats\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := ParseConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Exempt("internal/obs") {
+		t.Error("rule-scoped exemption must not exempt the whole package")
+	}
+	if !cfg.ExemptRule("internal/obs", "wallclock") {
+		t.Error("wallclock not exempted for internal/obs")
+	}
+	if !cfg.ExemptRule("internal/obs/sub", "wallclock") {
+		t.Error("rule exemption must cover subpackages")
+	}
+	if cfg.ExemptRule("internal/obs", "maprange") {
+		t.Error("maprange wrongly exempted")
+	}
+	if cfg.ExemptRule("internal/core", "wallclock") {
+		t.Error("wallclock exempted outside the prefix")
+	}
+
+	// Multiple rules per line.
+	multi := filepath.Join(t.TempDir(), "multi.conf")
+	if err := os.WriteFile(multi, []byte("exempt internal/obs wallclock,maprange\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mcfg, err := ParseConfig(multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mcfg.ExemptRule("internal/obs", "wallclock") || !mcfg.ExemptRule("internal/obs", "maprange") {
+		t.Error("comma-separated rule list not parsed")
+	}
+
+	// Unknown rule names are configuration errors, not silent no-ops.
+	bad := filepath.Join(t.TempDir(), "bad.conf")
+	if err := os.WriteFile(bad, []byte("exempt internal/obs nosuchrule\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseConfig(bad); err == nil {
+		t.Error("unknown rule name accepted")
 	}
 }
 

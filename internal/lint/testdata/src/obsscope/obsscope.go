@@ -1,0 +1,28 @@
+// Package obsscope models the internal/obs situation for the rule-scoped
+// exemption tests: a tracing package reads the wall clock by design
+// (observational timestamps, never read back by scheduling) but must still
+// build its event payloads deterministically. Under `exempt <pkg> wallclock`
+// the clock reads below are tolerated while the map-range payload is still
+// flagged.
+package obsscope
+
+import "time"
+
+type event struct {
+	TS   int64
+	Args []int64
+}
+
+// stamp assigns an observational timestamp.
+func stamp(e *event) {
+	e.TS = time.Now().UnixNano() // want wallclock
+}
+
+// payloadFromCounts builds an event payload by ranging over a map — a
+// determinism hazard no wallclock exemption covers: the payload order
+// would vary run to run and break trace golden tests.
+func payloadFromCounts(e *event, counts map[string]int64) {
+	for _, v := range counts { // want maprange
+		e.Args = append(e.Args, v)
+	}
+}

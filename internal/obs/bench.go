@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// BenchSchema identifies the benchmark-trajectory file format. Bump on
+// incompatible field changes so cross-PR diffs stay meaningful.
+const BenchSchema = "galois-bench/v1"
+
+// BenchEntry is one measured app × variant × threads cell. Everything
+// except WallNS is a pure function of the input under the deterministic
+// scheduler, so diffs of trajectory files isolate performance movement
+// from behavior movement: a fingerprint or round-count change is a
+// semantic regression, a WallNS change is the perf trajectory.
+type BenchEntry struct {
+	App     string `json:"app"`
+	Variant string `json:"variant"` // seq | g-n | g-d | g-dnc | pbbs
+	Sched   string `json:"sched"`   // nondet | det | seq | pbbs
+	Threads int    `json:"threads"`
+	Scale   string `json:"scale"`
+	WallNS  int64  `json:"wall_ns"`
+	Commits uint64 `json:"commits"`
+	Aborts  uint64 `json:"aborts"`
+	Rounds  uint64 `json:"rounds"`
+	// CommitRatio is commits / (commits + aborts).
+	CommitRatio float64 `json:"commit_ratio"`
+	// MeanWindow is the mean DIG window size (0 for nondet runs).
+	MeanWindow float64 `json:"mean_window"`
+	// Fingerprint is the run's output fingerprint, in hex.
+	Fingerprint string `json:"fingerprint"`
+}
+
+// Bench is a benchmark-trajectory file: one JSON document per PR
+// (BENCH_<n>.json) holding the entries measured at that point.
+type Bench struct {
+	Schema  string       `json:"schema"`
+	Entries []BenchEntry `json:"entries"`
+}
+
+// NewBench returns an empty trajectory document.
+func NewBench() *Bench { return &Bench{Schema: BenchSchema} }
+
+// Add appends one entry.
+func (b *Bench) Add(e BenchEntry) { b.Entries = append(b.Entries, e) }
+
+// Sort orders entries by (app, variant, threads, scale) so serialized
+// files diff cleanly across PRs regardless of measurement order.
+func (b *Bench) Sort() {
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.App != c.App {
+			return a.App < c.App
+		}
+		if a.Variant != c.Variant {
+			return a.Variant < c.Variant
+		}
+		if a.Threads != c.Threads {
+			return a.Threads < c.Threads
+		}
+		return a.Scale < c.Scale
+	})
+}
+
+// WriteFile serializes the document (sorted, indented, trailing newline)
+// to path.
+func (b *Bench) WriteFile(path string) error {
+	b.Sort()
+	if b.Schema == "" {
+		b.Schema = BenchSchema
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBenchFile parses a trajectory file and checks its schema.
+func ReadBenchFile(path string) (*Bench, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Bench
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.Schema != BenchSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, b.Schema, BenchSchema)
+	}
+	return &b, nil
+}

@@ -1,0 +1,92 @@
+package obs
+
+import "fmt"
+
+// Kind enumerates the event types the schedulers emit.
+type Kind uint8
+
+const (
+	// KindRunStart opens a ForEach run.
+	// Args: scheduler (0 nondet, 1 det), threads, initial tasks.
+	KindRunStart Kind = iota
+	// KindRunEnd closes a run. Args: commits, aborts, rounds.
+	KindRunEnd
+	// KindGenStart opens a DIG generation. Args: tasks in the generation.
+	KindGenStart
+	// KindGenEnd closes a generation. Args: tasks produced for the next.
+	KindGenEnd
+	// KindGenSort records the deterministic (id(parent), k) sort of the
+	// produced tasks (§3.2). Args: tasks sorted.
+	KindGenSort
+	// KindRoundStart opens a DIG round. Args: window size, tasks pending
+	// beyond the window.
+	KindRoundStart
+	// KindRoundEnd closes a round. Args: selected (attempted), committed,
+	// failed.
+	KindRoundEnd
+	// KindWindow records one adaptive-window decision (§3.2).
+	// Args: size before, size after, commit ratio in permille, grew (0/1).
+	KindWindow
+	// KindSuspend aggregates continuation suspensions at the failsafe
+	// point for one round (§3.3). Args: tasks suspended.
+	KindSuspend
+	// KindResume aggregates continuation resumptions in the commit phase
+	// of one round. Args: tasks resumed.
+	KindResume
+	// KindWorker is a non-deterministic worker's exit summary.
+	// Args: commits, aborts.
+	KindWorker
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"run-start", "run-end",
+	"gen-start", "gen-end", "gen-sort",
+	"round-start", "round-end", "window",
+	"suspend", "resume", "worker",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one trace record. Schedulers construct events without a
+// timestamp; the sink stamps TS on emission. TS is observational only: it
+// is never read by the scheduler and never part of the canonical encoding,
+// so two runs of the same input produce identical canonical sequences
+// regardless of machine or thread count (under the DIG scheduler).
+type Event struct {
+	// TS is nanoseconds since the trace started. Rendering only.
+	TS int64
+	// Kind selects the Args interpretation (see the Kind constants).
+	Kind Kind
+	// Gen is the DIG generation index (0 for non-generation events).
+	Gen int32
+	// Round is the global DIG round index (0 for non-round events).
+	Round int32
+	// Args is the kind-specific payload.
+	Args [4]int64
+}
+
+// Canonical renders the event without its timestamp — the representation
+// whose sequence is thread-count-invariant under the DIG scheduler. The
+// run configuration (thread count in KindRunStart) is excluded too: it
+// describes the machine, not the schedule.
+func (e Event) Canonical() string {
+	switch e.Kind {
+	case KindRunStart:
+		return fmt.Sprintf("run-start sched=%d items=%d", e.Args[0], e.Args[2])
+	case KindWorker:
+		// Worker summaries only occur under the non-deterministic
+		// scheduler, where no invariance is claimed.
+		return fmt.Sprintf("worker commits=%d aborts=%d", e.Args[0], e.Args[1])
+	default:
+		return fmt.Sprintf("%s gen=%d round=%d args=%d,%d,%d,%d",
+			e.Kind, e.Gen, e.Round, e.Args[0], e.Args[1], e.Args[2], e.Args[3])
+	}
+}

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"galois/internal/stats"
+)
+
+// Registry holds named counters and histograms for one or more scheduler
+// runs. Registration (Counter, Histogram) takes a lock; recording (Add,
+// Observe) is lock-free per-thread, merged on read — the same
+// no-perturbation design as internal/stats, which the registry subsumes:
+// a run's final stats counters are published into it by the engine via
+// PublishStats, and the histograms extend them with the per-round and
+// per-acquire distributions stats cannot express.
+type Registry struct {
+	threads int
+
+	mu      sync.Mutex
+	byName  map[string]any // *Counter or *Histogram; lookup only, never ranged
+	ordered []any          // registration order, for deterministic rendering
+}
+
+// NewRegistry returns a registry for runs of up to `threads` workers.
+// Attaching it to a run with more threads panics at loop start.
+func NewRegistry(threads int) *Registry {
+	if threads < 1 {
+		threads = 1
+	}
+	return &Registry{threads: threads, byName: make(map[string]any)}
+}
+
+// Threads returns the worker capacity the registry was sized for.
+func (r *Registry) Threads() int { return r.threads }
+
+// counterCell is one thread's count, padded against false sharing.
+type counterCell struct {
+	v uint64
+	_ [64 - 8%64]byte
+}
+
+// Counter is a monotonically increasing per-thread counter.
+type Counter struct {
+	name  string
+	cells []counterCell
+}
+
+// Add adds n on thread tid. Only tid may call this concurrently, so no
+// synchronization is needed (single-writer per cell; readers merge after
+// the run's join).
+func (c *Counter) Add(tid int, n uint64) { c.cells[tid].v += n }
+
+// Value merges all per-thread cells.
+func (c *Counter) Value() uint64 {
+	var sum uint64
+	for i := range c.cells {
+		sum += c.cells[i].v
+	}
+	return sum
+}
+
+// Histogram is a fixed-bucket per-thread histogram: values v are counted
+// in the first bucket whose upper bound is >= v, with an implicit
+// overflow bucket past the last bound. Bounds are fixed at registration,
+// so recording never allocates.
+type Histogram struct {
+	name   string
+	bounds []int64
+	cells  [][]uint64 // [thread][bucket]
+}
+
+// Observe records v on thread tid (single-writer per row, like Counter).
+func (h *Histogram) Observe(tid int, v int64) {
+	row := h.cells[tid]
+	for i, b := range h.bounds {
+		if v <= b {
+			row[i]++
+			return
+		}
+	}
+	row[len(h.bounds)]++
+}
+
+// Bounds returns the bucket upper bounds.
+func (h *Histogram) Bounds() []int64 { return h.bounds }
+
+// Counts merges the per-thread rows; the last entry is the overflow
+// bucket.
+func (h *Histogram) Counts() []uint64 {
+	out := make([]uint64, len(h.bounds)+1)
+	for _, row := range h.cells {
+		for i, v := range row {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() uint64 {
+	var sum uint64
+	for _, v := range h.Counts() {
+		sum += v
+	}
+	return sum
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Registering the same name as a different metric type panics.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		c, ok := m.(*Counter)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %q already registered as a histogram", name))
+		}
+		return c
+	}
+	c := &Counter{name: name, cells: make([]counterCell, r.threads)}
+	r.byName[name] = c
+	r.ordered = append(r.ordered, c)
+	return c
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket upper bounds (ascending) on first use. Later calls
+// ignore bounds; registering the name as a counter panics.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		h, ok := m.(*Histogram)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %q already registered as a counter", name))
+		}
+		return h
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending: %v", name, bounds))
+		}
+	}
+	h := &Histogram{name: name, bounds: append([]int64(nil), bounds...)}
+	h.cells = make([][]uint64, r.threads)
+	for i := range h.cells {
+		h.cells[i] = make([]uint64, len(bounds)+1)
+	}
+	r.byName[name] = h
+	r.ordered = append(r.ordered, h)
+	return h
+}
+
+// Pow2Bounds returns {1, 2, 4, ..., max}, the standard bucket layout for
+// count-valued histograms.
+func Pow2Bounds(max int64) []int64 {
+	var out []int64
+	for b := int64(1); b <= max; b *= 2 {
+		out = append(out, b)
+	}
+	return out
+}
+
+// WriteText renders every metric in registration order — deterministic,
+// so two identical runs produce byte-identical dumps.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range r.ordered {
+		switch m := m.(type) {
+		case *Counter:
+			if _, err := fmt.Fprintf(w, "%s %d\n", m.name, m.Value()); err != nil {
+				return err
+			}
+		case *Histogram:
+			if _, err := fmt.Fprintf(w, "%s total=%d", m.name, m.Total()); err != nil {
+				return err
+			}
+			counts := m.Counts()
+			for i, b := range m.bounds {
+				if counts[i] > 0 {
+					if _, err := fmt.Fprintf(w, " le%d=%d", b, counts[i]); err != nil {
+						return err
+					}
+				}
+			}
+			if counts[len(m.bounds)] > 0 {
+				if _, err := fmt.Fprintf(w, " inf=%d", counts[len(m.bounds)]); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// PublishStats copies a finished run's stats counters into the registry,
+// so callers that only hold a registry see the full picture. Counters
+// accumulate across runs.
+func PublishStats(r *Registry, s stats.Stats) {
+	r.Counter("run.commits").Add(0, s.Commits)
+	r.Counter("run.aborts").Add(0, s.Aborts)
+	r.Counter("run.pushes").Add(0, s.Pushes)
+	r.Counter("run.atomic_ops").Add(0, s.AtomicOps)
+	r.Counter("run.inspects").Add(0, s.Inspects)
+	r.Counter("run.rounds").Add(0, s.Rounds)
+}
