@@ -3,10 +3,10 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race trace-smoke
+.PHONY: check build vet lint test race trace-smoke bench-compare
 
 # Everything CI runs, in CI's order.
-check: vet lint build test race trace-smoke
+check: vet lint build test race trace-smoke bench-compare
 
 build:
 	$(GO) build ./...
@@ -38,3 +38,13 @@ race:
 trace-smoke:
 	$(GO) run ./cmd/repro -fig window -scale small -threads 2 -trace trace.json > /dev/null
 	$(GO) run ./cmd/tracecheck trace.json
+
+# Compare the two most recent committed benchmark trajectories
+# (BENCH_<n>.json). Wall-clock movement is report-only (different machines
+# measured different PRs); any allocs_per_op increase or deterministic
+# fingerprint change fails. No-op until two trajectory files exist.
+bench-compare:
+	@files=$$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -2); \
+	set -- $$files; \
+	if [ $$# -lt 2 ]; then echo "bench-compare: fewer than two BENCH_*.json files, skipping"; exit 0; fi; \
+	$(GO) run ./cmd/benchdiff -wall-report-only $$1 $$2

@@ -35,7 +35,7 @@ import (
 
 var (
 	benchScale = flag.String("benchscale", "small", "benchmark input scale: small|default|full")
-	benchJSON  = flag.String("benchjson", "", "write a benchmark-trajectory JSON (galois-bench/v1) of every measured run to this file")
+	benchJSON  = flag.String("benchjson", "", "write a benchmark-trajectory JSON (galois-bench/v2, with alloc columns) of every measured run to this file")
 )
 
 // benchDoc accumulates one trajectory entry per benchRun measurement when
@@ -45,12 +45,21 @@ var (
 	benchDoc   = obs.NewBench()
 )
 
-func recordBench(r harness.Run) {
+// recordBench appends the measured cell to the trajectory document, with
+// allocation columns from one extra (untimed) run in the same mode.
+func recordBench(in *harness.Inputs, app, variant string, threads int, r harness.Run) {
 	if *benchJSON == "" {
 		return
 	}
+	e := harness.BenchEntry(r, *benchScale)
+	if in.Engine != nil {
+		e.Mode = "engine"
+	}
+	e.AllocsPerOp, e.BytesPerOp = harness.MeasureAllocs(1, func() {
+		in.RunOnce(app, variant, threads, nil)
+	})
 	benchDocMu.Lock()
-	benchDoc.Add(harness.BenchEntry(r, *benchScale))
+	benchDoc.Add(e)
 	benchDocMu.Unlock()
 }
 
@@ -84,16 +93,26 @@ func inputs(b *testing.B) *harness.Inputs {
 	return inputsVal
 }
 
-// benchRun runs one app/variant/threads cell b.N times, reporting the
-// paper's per-run metrics.
+// benchRun runs one app/variant/threads cell b.N times on a reused engine
+// (measured iterations share run state, the steady state a serving workload
+// sees), reporting the paper's per-run metrics plus -benchmem allocations.
 func benchRun(b *testing.B, app, variant string, threads int) {
 	in := inputs(b)
+	if variant != "seq" && variant != "pbbs" {
+		eng := galois.NewEngine(galois.WithThreads(threads))
+		defer eng.Close()
+		in.Engine = eng
+		defer func() { in.Engine = nil }()
+		in.RunOnce(app, variant, threads, nil) // warm the engine, untimed
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	var last harness.Run
 	for i := 0; i < b.N; i++ {
 		last = in.RunOnce(app, variant, threads, nil)
 	}
-	recordBench(last)
+	b.StopTimer()
+	recordBench(in, app, variant, threads, last)
 	b.ReportMetric(last.Stats.CommitsPerMicro(), "tasks/us")
 	b.ReportMetric(last.Stats.AbortRatio(), "abort-ratio")
 	b.ReportMetric(last.Stats.AtomicsPerMicro(), "atomics/us")

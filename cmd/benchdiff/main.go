@@ -1,0 +1,156 @@
+// Command benchdiff compares two benchmark-trajectory files
+// (BENCH_<n>.json, internal/obs.Bench) and fails on regressions.
+//
+// Usage:
+//
+//	benchdiff OLD.json NEW.json
+//	benchdiff -wall-threshold 0.10 -wall-report-only OLD.json NEW.json
+//
+// Entries are matched by (app, variant, threads, scale, mode). Two kinds
+// of movement are policed:
+//
+//   - Wall time: NEW slower than OLD by more than -wall-threshold
+//     (default 10%) is a regression. Wall clocks are noisy — especially in
+//     CI — so -wall-report-only demotes these to report-only.
+//   - Allocations: any increase in allocs_per_op is a regression, with no
+//     tolerance. Allocation counts are deterministic per build, so an
+//     increase is a real code change, not noise. Skipped entirely when the
+//     OLD file predates allocation columns (schema v1).
+//
+// Fingerprint changes between files with matching keys are also fatal:
+// the trajectory is supposed to isolate performance movement from
+// behavior movement, and a fingerprint change is the latter.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"galois/internal/obs"
+)
+
+// change is one matched-key comparison that the policy flagged.
+type change struct {
+	key  string
+	text string
+}
+
+// report is the outcome of one diff: what to print, and which findings are
+// fatal under the active policy.
+type report struct {
+	wallRegressions  []change
+	allocRegressions []change
+	behaviorChanges  []change
+	onlyOld, onlyNew []string
+	compared         int
+	allocsChecked    bool
+}
+
+// diff compares two trajectories under the given wall-regression
+// threshold (e.g. 0.10 = +10% is the first failing slowdown).
+func diff(old, new *obs.Bench, wallThreshold float64) report {
+	var r report
+	oldByKey := make(map[string]obs.BenchEntry, len(old.Entries))
+	for _, e := range old.Entries {
+		oldByKey[e.Key()] = e
+	}
+	r.allocsChecked = old.HasAllocs() && new.HasAllocs()
+	seen := make(map[string]bool, len(new.Entries))
+	for _, ne := range new.Entries {
+		key := ne.Key()
+		seen[key] = true
+		oe, ok := oldByKey[key]
+		if !ok {
+			r.onlyNew = append(r.onlyNew, key)
+			continue
+		}
+		r.compared++
+		if oe.WallNS > 0 && ne.WallNS > 0 {
+			ratio := float64(ne.WallNS) / float64(oe.WallNS)
+			if ratio > 1+wallThreshold {
+				r.wallRegressions = append(r.wallRegressions, change{key,
+					fmt.Sprintf("wall %.2fms -> %.2fms (%+.1f%%)",
+						float64(oe.WallNS)/1e6, float64(ne.WallNS)/1e6, (ratio-1)*100)})
+			}
+		}
+		if r.allocsChecked && oe.AllocsPerOp > 0 && ne.AllocsPerOp > oe.AllocsPerOp {
+			r.allocRegressions = append(r.allocRegressions, change{key,
+				fmt.Sprintf("allocs/op %d -> %d (+%d)",
+					oe.AllocsPerOp, ne.AllocsPerOp, ne.AllocsPerOp-oe.AllocsPerOp)})
+		}
+		// Deterministic-scheduler entries must reproduce the output and
+		// schedule shape exactly; seq entries likewise. Nondet entries make
+		// no such claim.
+		if oe.Sched != "nondet" && oe.Fingerprint != "" && ne.Fingerprint != "" &&
+			oe.Fingerprint != ne.Fingerprint {
+			r.behaviorChanges = append(r.behaviorChanges, change{key,
+				fmt.Sprintf("fingerprint %s -> %s", oe.Fingerprint, ne.Fingerprint)})
+		}
+	}
+	//detlint:ordered removed-key collection is sorted immediately below
+	for key := range oldByKey {
+		if !seen[key] {
+			r.onlyOld = append(r.onlyOld, key)
+		}
+	}
+	sort.Strings(r.onlyOld)
+	sort.Strings(r.onlyNew)
+	return r
+}
+
+func printChanges(label string, cs []change) {
+	for _, c := range cs {
+		fmt.Printf("%s %s: %s\n", label, c.key, c.text)
+	}
+}
+
+func main() {
+	wallThreshold := flag.Float64("wall-threshold", 0.10,
+		"fractional wall-time slowdown that counts as a regression")
+	wallReportOnly := flag.Bool("wall-report-only", false,
+		"print wall regressions but do not fail on them (CI wall clocks are noisy)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] OLD.json NEW.json")
+		flag.Usage()
+		os.Exit(2)
+	}
+	old, err := obs.ReadBenchFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	new, err := obs.ReadBenchFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	r := diff(old, new, *wallThreshold)
+	fmt.Printf("benchdiff: %s -> %s: %d entries compared, %d only-old, %d only-new\n",
+		flag.Arg(0), flag.Arg(1), r.compared, len(r.onlyOld), len(r.onlyNew))
+	for _, k := range r.onlyOld {
+		fmt.Printf("removed %s\n", k)
+	}
+	for _, k := range r.onlyNew {
+		fmt.Printf("added %s\n", k)
+	}
+	printChanges("WALL", r.wallRegressions)
+	printChanges("ALLOC", r.allocRegressions)
+	printChanges("BEHAVIOR", r.behaviorChanges)
+	if !r.allocsChecked {
+		fmt.Println("note: allocation columns absent in one file; allocs not compared")
+	}
+
+	fail := len(r.behaviorChanges) > 0 || len(r.allocRegressions) > 0
+	if !*wallReportOnly && len(r.wallRegressions) > 0 {
+		fail = true
+	}
+	if fail {
+		fmt.Println("benchdiff: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: ok")
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"testing"
+
+	"galois/internal/obs"
+)
+
+func entry(app string, wall int64, allocs uint64, mode, fp string) obs.BenchEntry {
+	return obs.BenchEntry{App: app, Variant: "g-d", Sched: "det", Threads: 2,
+		Scale: "small", WallNS: wall, AllocsPerOp: allocs, Mode: mode, Fingerprint: fp}
+}
+
+func bench(entries ...obs.BenchEntry) *obs.Bench {
+	b := obs.NewBench()
+	for _, e := range entries {
+		b.Add(e)
+	}
+	return b
+}
+
+func TestDiffClean(t *testing.T) {
+	old := bench(entry("bfs", 100, 50, "", "aa"), entry("mis", 200, 60, "engine", "bb"))
+	new := bench(entry("bfs", 105, 50, "", "aa"), entry("mis", 190, 55, "engine", "bb"))
+	r := diff(old, new, 0.10)
+	if r.compared != 2 || len(r.wallRegressions) != 0 || len(r.allocRegressions) != 0 ||
+		len(r.behaviorChanges) != 0 || len(r.onlyOld) != 0 || len(r.onlyNew) != 0 {
+		t.Fatalf("clean diff flagged: %+v", r)
+	}
+	if !r.allocsChecked {
+		t.Fatal("allocs present in both files but not checked")
+	}
+}
+
+func TestDiffWallRegression(t *testing.T) {
+	old := bench(entry("bfs", 100, 50, "", "aa"))
+	// +10% exactly is allowed; strictly above fails.
+	r := diff(old, bench(entry("bfs", 110, 50, "", "aa")), 0.10)
+	if len(r.wallRegressions) != 0 {
+		t.Fatalf("+10%% flagged: %+v", r.wallRegressions)
+	}
+	r = diff(old, bench(entry("bfs", 112, 50, "", "aa")), 0.10)
+	if len(r.wallRegressions) != 1 {
+		t.Fatalf("+12%% not flagged: %+v", r.wallRegressions)
+	}
+}
+
+func TestDiffAllocRegressionIsStrict(t *testing.T) {
+	old := bench(entry("bfs", 100, 50, "engine", "aa"))
+	r := diff(old, bench(entry("bfs", 100, 51, "engine", "aa")), 0.10)
+	if len(r.allocRegressions) != 1 {
+		t.Fatalf("+1 alloc not flagged: %+v", r.allocRegressions)
+	}
+	r = diff(old, bench(entry("bfs", 100, 49, "engine", "aa")), 0.10)
+	if len(r.allocRegressions) != 0 {
+		t.Fatalf("alloc improvement flagged: %+v", r.allocRegressions)
+	}
+}
+
+func TestDiffSkipsAllocsAgainstV1(t *testing.T) {
+	// A v1-era file has no allocation columns; the comparison must not
+	// treat 0 -> n as a regression, it must skip allocs entirely.
+	old := bench(entry("bfs", 100, 0, "", "aa"))
+	r := diff(old, bench(entry("bfs", 100, 500, "", "aa")), 0.10)
+	if r.allocsChecked || len(r.allocRegressions) != 0 {
+		t.Fatalf("allocs compared against v1 file: %+v", r)
+	}
+}
+
+func TestDiffFingerprintChangeIsBehavior(t *testing.T) {
+	old := bench(entry("bfs", 100, 50, "", "aa"))
+	r := diff(old, bench(entry("bfs", 100, 50, "", "cc")), 0.10)
+	if len(r.behaviorChanges) != 1 {
+		t.Fatalf("fingerprint change not flagged: %+v", r)
+	}
+	// Nondet entries carry no reproducibility claim.
+	o := entry("bfs", 100, 50, "", "aa")
+	o.Variant, o.Sched = "g-n", "nondet"
+	n := o
+	n.Fingerprint = "dd"
+	r = diff(bench(o), bench(n), 0.10)
+	if len(r.behaviorChanges) != 0 {
+		t.Fatalf("nondet fingerprint change flagged: %+v", r)
+	}
+}
+
+func TestDiffKeySets(t *testing.T) {
+	old := bench(entry("bfs", 100, 50, "", "aa"), entry("dt", 100, 50, "", "aa"))
+	new := bench(entry("bfs", 100, 50, "", "aa"), entry("pfp", 100, 50, "", "aa"))
+	r := diff(old, new, 0.10)
+	if len(r.onlyOld) != 1 || len(r.onlyNew) != 1 || r.compared != 1 {
+		t.Fatalf("key sets wrong: %+v", r)
+	}
+	// Fresh and engine modes of one cell are distinct keys.
+	old = bench(entry("bfs", 100, 50, "", "aa"), entry("bfs", 100, 10, "engine", "aa"))
+	new = bench(entry("bfs", 100, 50, "", "aa"), entry("bfs", 100, 10, "engine", "aa"))
+	if r := diff(old, new, 0.10); r.compared != 2 {
+		t.Fatalf("modes collapsed: %+v", r)
+	}
+}

@@ -27,6 +27,7 @@ import (
 
 	"galois"
 	"galois/internal/harness"
+	"galois/internal/obs"
 )
 
 func main() {
@@ -35,6 +36,7 @@ func main() {
 	threadsFlag := flag.String("threads", "", "comma-separated thread counts (default: 1,2,4,...,GOMAXPROCS)")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the traced runs to this file")
 	benchPath := flag.String("bench-json", "", "measure every app x scheduler once and write a benchmark-trajectory JSON to this file")
+	benchAllocs := flag.Bool("bench-allocs", false, "with -bench-json: also measure allocs/bytes per run, in both fresh and engine-reused modes")
 	flag.Parse()
 
 	if *fig == "" && *benchPath == "" {
@@ -71,6 +73,13 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "generating inputs (scale=%s)...\n", sc.Name)
 	in := harness.MakeInputs(sc)
+
+	// One engine serves every figure sweep: the sweeps revisit the same
+	// apps dozens of times, and reuse cuts the per-run allocation cost
+	// without touching any measured output (the engine invariant).
+	eng := galois.NewEngine(galois.WithThreads(maxT))
+	defer eng.Close()
+	in.Engine = eng
 
 	// With -trace, every Galois run dispatched below feeds the same sink;
 	// the export then holds one process per run. Tracing is non-perturbing,
@@ -119,7 +128,13 @@ func main() {
 
 	if *benchPath != "" {
 		fmt.Fprintf(os.Stderr, "measuring benchmark trajectory (threads=%d, scale=%s)...\n", maxT, sc.Name)
-		b := harness.CollectBench(in, maxT, sc.Name)
+		var b *obs.Bench
+		if *benchAllocs {
+			// CollectBenchAllocs manages fresh/engine modes itself.
+			b = harness.CollectBenchAllocs(in, maxT, sc.Name)
+		} else {
+			b = harness.CollectBench(in, maxT, sc.Name)
+		}
 		if err := b.WriteFile(*benchPath); err != nil {
 			fmt.Fprintln(os.Stderr, "repro:", err)
 			os.Exit(1)

@@ -195,10 +195,55 @@ func WithProfile(t *Tracer) Option { return func(o *core.Options) { o.Profile = 
 // The body must follow the cautious-task protocol documented on Ctx:
 // Acquire every location it reads, defer every shared write into OnCommit,
 // and create tasks only through Push/PushWithID.
+//
+// Each call allocates and discards its run state (workers, arenas,
+// contexts) unless an Engine is supplied with WithEngine; programs that
+// run loops repeatedly should hold one Engine and pass it to every run.
 func ForEach[T any](items []T, body func(*Ctx[T], T), opts ...Option) Stats {
 	opt := core.Defaults()
 	for _, o := range opts {
 		o(&opt)
 	}
 	return core.ForEach(items, body, opt)
+}
+
+// Engine retains run state across loops: the persistent worker pool,
+// barriers, the statistics collector and, per item type, generation arenas,
+// execution contexts and gather/sort scratch. The first run on an engine
+// allocates this state; later runs of similar shape reuse it, so the steady
+// state of a repeatedly driven engine allocates (near) zero per run.
+//
+// Reuse never changes results: an engine-reused deterministic run commits
+// byte-identical output — and emits the identical event sequence — to a
+// fresh ForEach with the same options, at every thread count.
+//
+// An engine runs one loop at a time (concurrent runs panic) and may be
+// passed to any loop item type. Close releases its worker goroutines.
+type Engine = core.Engine
+
+// NewEngine returns an engine whose runs default to the configured options.
+// Only WithThreads is consulted at construction (it sets the default worker
+// count, GOMAXPROCS if unset); per-run options are given to ForEachOn or to
+// ForEach via WithEngine as usual.
+func NewEngine(opts ...Option) *Engine {
+	opt := core.Defaults()
+	for _, o := range opts {
+		o(&opt)
+	}
+	return core.NewEngine(opt.Threads)
+}
+
+// WithEngine directs ForEach to run on e, reusing its retained state,
+// instead of building and discarding run state for the call.
+func WithEngine(e *Engine) Option { return func(o *core.Options) { o.Engine = e } }
+
+// ForEachOn is ForEach on an engine: identical semantics, but all run state
+// comes from e and is retained for the next run. Equivalent to passing
+// WithEngine(e).
+func ForEachOn[T any](e *Engine, items []T, body func(*Ctx[T], T), opts ...Option) Stats {
+	opt := core.Defaults()
+	for _, o := range opts {
+		o(&opt)
+	}
+	return core.RunOn(e, items, body, opt)
 }

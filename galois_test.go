@@ -224,3 +224,27 @@ func TestCountAtomicFlowsIntoStats(t *testing.T) {
 		t.Fatalf("atomic ops %d < 200", st.AtomicOps)
 	}
 }
+
+func TestEngineFacade(t *testing.T) {
+	// NewEngine honors WithThreads; ForEachOn and WithEngine are two routes
+	// to the same reused state, and both leave results identical to the
+	// one-shot ForEach.
+	eng := galois.NewEngine(galois.WithThreads(4))
+	defer eng.Close()
+	if eng.Threads() != 4 {
+		t.Fatalf("engine threads = %d", eng.Threads())
+	}
+	items := make([]int, 500)
+	body := func(ctx *galois.Ctx[int], _ int) {}
+	for rep := 0; rep < 2; rep++ {
+		st := galois.ForEachOn(eng, items, body, galois.WithSched(galois.Deterministic))
+		if st.Commits != uint64(len(items)) {
+			t.Fatalf("ForEachOn rep %d: commits = %d", rep, st.Commits)
+		}
+		st = galois.ForEach(items, body,
+			galois.WithSched(galois.Deterministic), galois.WithEngine(eng))
+		if st.Commits != uint64(len(items)) {
+			t.Fatalf("WithEngine rep %d: commits = %d", rep, st.Commits)
+		}
+	}
+}

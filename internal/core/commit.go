@@ -1,0 +1,86 @@
+package core
+
+import "galois/internal/obs"
+
+// commitCollector owns the serial end-of-round step of the DIG scheduler:
+// it gathers the children of committed tasks, compacts failed tasks in
+// front of the untried remainder (failed tasks keep their priority), and
+// adapts the window. Its produced buffer is engine-retained scratch, so a
+// reused engine gathers children without allocating; the buffer is reset at
+// each generation start and consumed when the next generation is formed.
+type commitCollector[T any] struct {
+	produced []child[T]
+}
+
+// reset prepares the collector for a new generation, keeping capacity.
+func (cc *commitCollector[T]) reset() { cc.produced = cc.produced[:0] }
+
+// gather processes the finished round r: harvests children, compacts the
+// failed tasks, records statistics and trace events, and updates the
+// window policy. It runs serially (worker 0, between barriers).
+//
+// The failed compaction is in place: cur and rest are adjacent views of
+// r.next, so moving the nf failed task pointers into next[w-nf:w] makes
+// failed++rest contiguous at next[w-nf:] with no allocation. The copy
+// scans backward, writing from slot w-1 down: at read index i the write
+// index is w-1-(failed seen so far) >= i, so a write never lands on a slot
+// the scan has yet to read (a forward copy would).
+func (cc *commitCollector[T]) gather(r *roundExecutor[T]) {
+	committed := 0
+	nf := 0
+	for _, t := range r.cur {
+		if t.failed {
+			nf++
+			continue
+		}
+		committed++
+		if len(t.children) > 0 {
+			cc.produced = append(cc.produced, t.children...)
+		}
+		// Drop the commit closure (it can pin arbitrary user state) but
+		// keep the acquired/children buffers: their capacity is the
+		// engine's per-task scratch, recycled by the next fill.
+		t.commitFn = nil
+	}
+	if committed == 0 {
+		// The max-id task in every round owns all of its marks by
+		// construction (§3.2).
+		panic("galois: deterministic round committed no tasks")
+	}
+	if nf > 0 {
+		// Failed tasks keep their priority: they precede untried tasks
+		// in the next round.
+		j := r.w - 1
+		for i := r.w - 1; i >= 0; i-- {
+			t := r.cur[i]
+			if t.failed {
+				r.next[j] = t
+				j--
+			}
+		}
+	}
+	r.col.Round(len(r.cur), committed)
+	emit(r.sink, 0, obs.Event{Kind: obs.KindRoundEnd, Gen: r.genIdx, Round: r.round,
+		Args: [4]int64{int64(len(r.cur)), int64(committed), int64(nf)}})
+	if r.opt.Continuation {
+		// §3.3 continuation aggregates: every task in the round
+		// suspended at its failsafe point during inspect; the committed
+		// ones resumed.
+		emit(r.sink, 0, obs.Event{Kind: obs.KindSuspend, Gen: r.genIdx,
+			Round: r.round, Args: [4]int64{int64(len(r.cur))}})
+		emit(r.sink, 0, obs.Event{Kind: obs.KindResume, Gen: r.genIdx,
+			Round: r.round, Args: [4]int64{int64(committed)}})
+	}
+	if r.met != nil {
+		r.met.tasksPerRound.Observe(0, int64(committed))
+		r.met.abortsPerRound.Observe(0, int64(nf))
+	}
+	dec := r.win.update(len(r.cur), committed)
+	grew := int64(0)
+	if dec.Grew {
+		grew = 1
+	}
+	emit(r.sink, 0, obs.Event{Kind: obs.KindWindow, Gen: r.genIdx, Round: r.round,
+		Args: [4]int64{int64(dec.Before), int64(dec.After), dec.RatioPermille, grew}})
+	r.next = r.next[r.w-nf:]
+}

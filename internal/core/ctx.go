@@ -65,11 +65,29 @@ type Ctx[T any] struct {
 
 	children []child[T]
 	nchild   uint64
+	// scratch is a ctx-owned children buffer for validate-mode
+	// re-execution. After the inspect phase, children aliases the buffer
+	// of the last task this worker inspected; validate-mode bodies must
+	// append into a buffer no task owns, or two tasks executing
+	// concurrently on different workers could write one backing array.
+	scratch []child[T]
 
 	ops int // batched atomic-op count, flushed to col per task
 	col *stats.Collector
 	pro *cachesim.Tracer
 	met *coreMetrics
+}
+
+// prepare binds a retained context's per-run fields. Engines keep contexts
+// alive across runs (their acquired/children capacity is part of the
+// allocation-free steady state); prepare is called serially before the
+// workers of a new run fork.
+func (c *Ctx[T]) prepare(threads int, det bool, col *stats.Collector, opt Options, met *coreMetrics) {
+	c.threads = threads
+	c.det = det
+	c.col = col
+	c.pro = opt.Profile
+	c.met = met
 }
 
 func (c *Ctx[T]) reset(tid int, m mode, rec *marks.Rec) {

@@ -1,18 +1,17 @@
 package core
 
 import (
-	"sync/atomic"
-
 	"galois/internal/marks"
 	"galois/internal/obs"
-	"galois/internal/para"
 	"galois/internal/stats"
 )
 
 // detTask is the scheduler-side record for one task in the current
 // generation. Its rec is the task's identity in the marks protocol; the id
 // stored in rec is the task's position in the generation's deterministic
-// order (§3.2).
+// order (§3.2). The acquired and children slices are per-task scratch whose
+// capacity survives arena recycling, which is what makes a reused engine's
+// steady state allocation-free.
 type detTask[T any] struct {
 	rec      marks.Rec
 	item     T
@@ -24,199 +23,69 @@ type detTask[T any] struct {
 	failed bool
 }
 
-// runDeterministic is the DIG scheduler of Figure 2. Tasks execute in
-// generations: the initial tasks form generation zero; tasks created during
-// a generation are collected, sorted by their deterministic keys, and form
-// the next generation (todo/next in the pseudocode). Within a generation,
-// execution proceeds in rounds over an adaptively sized window.
-func runDeterministic[T any](items []T, body func(*Ctx[T], T), opt Options, col *stats.Collector) {
-	if len(items) == 0 {
-		return
-	}
+// runDeterministic is the DIG scheduler of Figure 2, phase-structured over
+// the engine's retained state. Tasks execute in generations: the initial
+// tasks form generation zero; tasks created during a generation are
+// collected by the commitCollector, sorted by their deterministic keys, and
+// form the next generation (todo/next in the pseudocode). Within a
+// generation, a roundExecutor drives rounds over an adaptively sized
+// window. All storage — arenas, contexts, children scratch, sort scratch —
+// comes from the engine and is returned to it, so repeated runs on one
+// engine allocate (near) nothing.
+func runDeterministic[T any](e *Engine, st *engState[T], items []T, body func(*Ctx[T], T), opt Options, col *stats.Collector) {
 	nthreads := opt.Threads
-	met := newCoreMetrics(opt.Metrics)
+	met := e.metricsFor(opt.Metrics)
 
-	ctxs := make([]*Ctx[T], nthreads)
-	for i := range ctxs {
-		ctxs[i] = &Ctx[T]{threads: nthreads, det: true, col: col, pro: opt.Profile, met: met}
+	st.ensure(nthreads)
+	for _, ctx := range st.ctxs[:nthreads] {
+		ctx.prepare(nthreads, true, col, opt, met)
 	}
 
-	gen := makeGeneration[T](len(items), func(i int) T { return items[i] })
-	for genIdx := int32(0); len(gen) > 0; genIdx++ {
-		win := newWindowPolicy(len(gen), opt)
+	gen := generation[T]{arena: st.free.take(len(items))}
+	gen.fill(len(items), func(i int) T { return items[i] })
+	cc := &st.commit
+
+	r := &roundExecutor[T]{
+		opt:      opt,
+		body:     body,
+		ctxs:     st.ctxs,
+		col:      col,
+		met:      met,
+		sink:     opt.Sink,
+		nthreads: nthreads,
+		cc:       cc,
+	}
+	bar := e.barrier(nthreads)
+
+	for genIdx := int32(0); gen.len() > 0; genIdx++ {
+		cc.reset()
+		r.win = newWindowPolicy(gen.len(), opt)
 		if opt.LocalityInterleave {
-			gen = interleavePermute(gen, win.size)
+			gen.interleave(r.win.size)
 		}
-		// Ids are positions in the generation's deterministic order;
-		// 0 is reserved for "unowned" (nil mark), so ids start at 1.
-		for i, t := range gen {
-			t.rec.Reset(uint64(i) + 1)
-		}
+		gen.assignIDs()
 		emit(opt.Sink, 0, obs.Event{Kind: obs.KindGenStart, Gen: genIdx,
-			Args: [4]int64{int64(len(gen))}})
-		produced := runGeneration(gen, body, opt, col, ctxs, &win, nthreads, genIdx, met)
+			Args: [4]int64{int64(gen.len())}})
+		r.genIdx = genIdx
+		r.next = gen.tasks
+		r.run(e.pool, bar)
+		produced := cc.produced
 		emit(opt.Sink, 0, obs.Event{Kind: obs.KindGenEnd, Gen: genIdx,
 			Args: [4]int64{int64(len(produced))}})
 		if len(produced) == 0 {
+			st.free.put(gen.arena)
 			return
 		}
-		sortChildren(produced, opt.PreassignedIDs, opt.Threads)
+		st.sortScratch = sortChildren(produced, opt.PreassignedIDs, opt.Threads, st.sortScratch)
 		emit(opt.Sink, 0, obs.Event{Kind: obs.KindGenSort, Gen: genIdx,
 			Args: [4]int64{int64(len(produced))}})
-		gen = makeGeneration[T](len(produced), func(i int) T { return produced[i].item })
+		// The parent generation is fully committed; recycle its arena
+		// before taking the next so same-class generations reuse it.
+		st.free.put(gen.arena)
+		gen = generation[T]{arena: st.free.take(len(produced))}
+		gen.fill(len(produced), func(i int) T { return produced[i].item })
 	}
-}
-
-// makeGeneration allocates a generation of n tasks with one backing array.
-func makeGeneration[T any](n int, item func(int) T) []*detTask[T] {
-	backing := make([]detTask[T], n)
-	gen := make([]*detTask[T], n)
-	for i := range backing {
-		backing[i].item = item(i)
-		gen[i] = &backing[i]
-	}
-	return gen
-}
-
-// runGeneration executes one generation to completion and returns the tasks
-// it created. Workers are persistent across rounds and synchronize with a
-// barrier, mirroring the barrier structure of Figure 2; worker 0 doubles as
-// the round coordinator.
-func runGeneration[T any](gen []*detTask[T], body func(*Ctx[T], T), opt Options,
-	col *stats.Collector, ctxs []*Ctx[T], win *windowPolicy, nthreads int,
-	genIdx int32, met *coreMetrics) []child[T] {
-
-	var (
-		produced []child[T]
-		next     = gen
-		cur      []*detTask[T]
-		rest     []*detTask[T]
-		done     bool
-		insCtr   atomic.Int64
-		exeCtr   atomic.Int64
-		chunk    int64
-	)
-	sink := opt.Sink
-	// round is written only in serial sections (pre-fork, then worker 0's
-	// coordinator block), like the rest of the round state.
-	round := int32(-1)
-
-	setupRound := func() {
-		if len(next) == 0 {
-			done = true
-			return
-		}
-		w := win.next(len(next))
-		cur, rest = next[:w:w], next[w:]
-		round++
-		emit(sink, 0, obs.Event{Kind: obs.KindRoundStart, Gen: genIdx, Round: round,
-			Args: [4]int64{int64(w), int64(len(rest))}})
-		chunk = int64(w / (nthreads * 8))
-		if chunk < 1 {
-			chunk = 1
-		}
-		if chunk > 64 {
-			chunk = 64
-		}
-		insCtr.Store(0)
-		exeCtr.Store(0)
-	}
-	setupRound()
-	if done {
-		return nil
-	}
-
-	bar := para.NewBarrier(nthreads)
-	para.Run(nthreads, func(tid int) {
-		ctx := ctxs[tid]
-		for {
-			if done {
-				return
-			}
-			// Phase 1: inspect (Figure 2 line 14).
-			for {
-				start := insCtr.Add(chunk) - chunk
-				if start >= int64(len(cur)) {
-					break
-				}
-				end := min(start+chunk, int64(len(cur)))
-				for _, t := range cur[start:end] {
-					inspectTask(ctx, t, body, tid, opt.Continuation)
-				}
-			}
-			bar.Wait()
-			// Phase 2: selectAndExec (Figure 2 line 19).
-			for {
-				start := exeCtr.Add(chunk) - chunk
-				if start >= int64(len(cur)) {
-					break
-				}
-				end := min(start+chunk, int64(len(cur)))
-				for _, t := range cur[start:end] {
-					execTask(ctx, t, body, tid, opt.Continuation)
-				}
-			}
-			bar.Wait()
-			// Coordination: gather results, adapt the window, form
-			// the next round (Figure 2 lines 9-12). Worker 0 runs
-			// this serially between barriers.
-			if tid == 0 {
-				committed := 0
-				var failed []*detTask[T]
-				for _, t := range cur {
-					if t.failed {
-						failed = append(failed, t)
-						continue
-					}
-					committed++
-					if len(t.children) > 0 {
-						produced = append(produced, t.children...)
-					}
-					t.children = nil
-					t.commitFn = nil
-					t.acquired = nil
-				}
-				if committed == 0 {
-					// The max-id task in every round owns all
-					// of its marks by construction (§3.2).
-					panic("galois: deterministic round committed no tasks")
-				}
-				col.Round(len(cur), committed)
-				emit(sink, 0, obs.Event{Kind: obs.KindRoundEnd, Gen: genIdx, Round: round,
-					Args: [4]int64{int64(len(cur)), int64(committed), int64(len(failed))}})
-				if opt.Continuation {
-					// §3.3 continuation aggregates: every task in the
-					// round suspended at its failsafe point during
-					// inspect; the committed ones resumed.
-					emit(sink, 0, obs.Event{Kind: obs.KindSuspend, Gen: genIdx,
-						Round: round, Args: [4]int64{int64(len(cur))}})
-					emit(sink, 0, obs.Event{Kind: obs.KindResume, Gen: genIdx,
-						Round: round, Args: [4]int64{int64(committed)}})
-				}
-				if met != nil {
-					met.tasksPerRound.Observe(0, int64(committed))
-					met.abortsPerRound.Observe(0, int64(len(failed)))
-				}
-				dec := win.update(len(cur), committed)
-				grew := int64(0)
-				if dec.Grew {
-					grew = 1
-				}
-				emit(sink, 0, obs.Event{Kind: obs.KindWindow, Gen: genIdx, Round: round,
-					Args: [4]int64{int64(dec.Before), int64(dec.After), dec.RatioPermille, grew}})
-				if len(failed) > 0 {
-					// Failed tasks keep their priority: they
-					// precede untried tasks in the next round.
-					next = append(failed, rest...)
-				} else {
-					next = rest
-				}
-				setupRound()
-			}
-			bar.Wait()
-		}
-	})
-	return produced
+	st.free.put(gen.arena)
 }
 
 // inspectTask runs one task up to (through) its failsafe point in inspect
@@ -272,9 +141,12 @@ func execTask[T any](ctx *Ctx[T], t *detTask[T], body func(*Ctx[T], T), tid int,
 	} else {
 		// Baseline (§3.2): re-execute from the beginning; Acquire
 		// validates that each mark still holds this task's id and
-		// unwinds on the first mismatch.
+		// unwinds on the first mismatch. Pushes go to the ctx-owned
+		// scratch buffer (see Ctx.scratch), reclaimed below.
 		ctx.reset(tid, modeValidate, &t.rec)
+		ctx.children = ctx.scratch[:0]
 		if conflicted := ctx.runBody(body, t.item); conflicted {
+			ctx.scratch = ctx.children
 			t.failed = true
 			ctx.col.Abort(tid)
 		} else {
@@ -285,6 +157,7 @@ func execTask[T any](ctx *Ctx[T], t *detTask[T], body func(*Ctx[T], T), tid int,
 				ctx.inCommit = false
 			}
 			t.children = append(t.children[:0], ctx.children...)
+			ctx.scratch = ctx.children
 			ctx.col.Commit(tid)
 		}
 	}

@@ -66,4 +66,21 @@
 // and timing can change which worker executes what and in which order
 // within a phase, but phases are barrier-separated and every cross-phase
 // value is one of (i)-(iii).
+//
+// # Structure and state reuse
+//
+// The DIG pipeline is phase-structured across four files: generation.go
+// owns task storage and deterministic id assignment (generation, backed by
+// size-classed recyclable arenas), round.go owns the inspect/selectAndExec
+// phase loop and chunked work distribution (roundExecutor), commit.go owns
+// the serial end-of-round gather/compact/adapt step (commitCollector), and
+// det.go orchestrates the generation lifecycle. Both schedulers run on the
+// persistent worker pool of internal/para.
+//
+// All run state lives in an Engine (engine.go): the pool, barriers, the
+// collector and — per item type — arenas, contexts, worklists and scratch.
+// ForEach builds a transient engine per call; RunOn reuses a caller-held
+// one, whose steady state allocates (near) zero per run. Reuse is inert to
+// determinism: recycled storage is fully reinitialized before tasks see it,
+// so engine-reused runs are fingerprint-identical to fresh ones.
 package core

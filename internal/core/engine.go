@@ -2,19 +2,169 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
+	"galois/internal/marks"
 	"galois/internal/obs"
 	"galois/internal/para"
 	"galois/internal/stats"
+	"galois/internal/worklist"
 )
 
-// ForEach executes the unordered-algorithm loop of Figure 1a over the
-// initial task pool `items` with the scheduler selected in opt, and returns
-// the run's statistics. It blocks until every task (including dynamically
-// created ones) has committed.
-func ForEach[T any](items []T, body func(*Ctx[T], T), opt Options) stats.Stats {
+// Engine owns the run state both schedulers reuse across loops: the
+// persistent worker pool, barriers, the statistics collector, registered
+// metrics instruments, and — per item type — generation arenas, contexts and
+// gather/sort scratch. A fresh run allocates this state on demand; every
+// later run of similar shape finds it warm, so the steady state of a
+// repeatedly driven engine allocates (near) zero.
+//
+// Reuse never reaches committed output: the deterministic schedule is a pure
+// function of the task set and ids (§3.2), and recycled storage is fully
+// reinitialized before tasks see it, so an engine-reused run is
+// fingerprint-identical to a fresh one. An Engine runs one loop at a time
+// (concurrent RunOn calls panic). The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	threads int
+	pool    *para.Pool
+	bars    map[int]*para.Barrier
+	col     *stats.Collector
+	// states holds one *engState[T] per item type T, keyed by the typed
+	// nil any((*T)(nil)) — a comparable, allocation-free type token.
+	states map[any]any
+	// mets caches the coreMetrics bundle per registry so reuse does not
+	// re-register (or re-allocate) instruments every run.
+	mets    map[*obs.Registry]*coreMetrics
+	running atomic.Bool
+	closed  bool
+}
+
+// NewEngine returns an engine whose runs default to the given thread count
+// (<= 0 means para.DefaultThreads). Workers and per-type state are created
+// lazily by the first run that needs them.
+func NewEngine(threads int) *Engine {
+	if threads <= 0 {
+		threads = para.DefaultThreads()
+	}
+	return &Engine{
+		threads: threads,
+		pool:    para.NewPool(),
+		bars:    make(map[int]*para.Barrier),
+		states:  make(map[any]any),
+		mets:    make(map[*obs.Registry]*coreMetrics),
+	}
+}
+
+// Threads returns the engine's default thread count.
+func (e *Engine) Threads() int { return e.threads }
+
+// Close retires the engine's worker goroutines and marks it unusable.
+// Idempotent; running on a closed engine panics.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	e.pool.Close()
+}
+
+// barrier returns the engine's reusable barrier for the given party count.
+func (e *Engine) barrier(parties int) *para.Barrier {
+	b := e.bars[parties]
+	if b == nil {
+		b = para.NewBarrier(parties)
+		e.bars[parties] = b
+	}
+	return b
+}
+
+// metricsFor returns the (cached) scheduler instrument bundle for reg.
+func (e *Engine) metricsFor(reg *obs.Registry) *coreMetrics {
+	if reg == nil {
+		return nil
+	}
+	if m := e.mets[reg]; m != nil {
+		return m
+	}
+	m := newCoreMetrics(reg)
+	e.mets[reg] = m
+	return m
+}
+
+// collector returns the engine's statistics collector, reset for a run of
+// the given thread count.
+func (e *Engine) collector(threads int) *stats.Collector {
+	if e.col == nil {
+		e.col = stats.NewCollector(threads)
+	} else {
+		e.col.Reset(threads)
+	}
+	return e.col
+}
+
+// engState is the per-item-type slice of an engine's retained state. Methods
+// cannot introduce type parameters, so the engine stores these behind `any`
+// and the generic free function stateFor recovers the typed view.
+type engState[T any] struct {
+	// ctxs are the per-worker execution contexts; their acquired/children
+	// scratch capacity persists across runs.
+	ctxs []*Ctx[T]
+	// recs are the per-worker mark records of the non-deterministic
+	// scheduler (pointers, so growth never moves a record under a run).
+	recs []*marks.Rec
+	// free recycles generation arenas by size class (DIG scheduler).
+	free genFreeList[T]
+	// commit is the end-of-round collector; its produced buffer is the
+	// children gather scratch.
+	commit commitCollector[T]
+	// sortScratch is the merge buffer for sorting generations of children.
+	sortScratch []child[T]
+
+	// Retained non-deterministic worklists, with the thread counts they
+	// were built for (worklists size per-thread queues at construction).
+	lifo        *worklist.ChunkedLIFO[T]
+	lifoThreads int
+	fifo        *worklist.ChunkedFIFO[T]
+	fifoThreads int
+}
+
+// ensure grows the per-worker state to at least n workers.
+func (st *engState[T]) ensure(n int) {
+	for len(st.ctxs) < n {
+		st.ctxs = append(st.ctxs, &Ctx[T]{})
+		st.recs = append(st.recs, &marks.Rec{})
+	}
+}
+
+// stateFor returns the engine's retained state for item type T, creating it
+// on first use.
+func stateFor[T any](e *Engine) *engState[T] {
+	key := any((*T)(nil))
+	if s, ok := e.states[key]; ok {
+		return s.(*engState[T])
+	}
+	s := &engState[T]{}
+	e.states[key] = s
+	return s
+}
+
+// RunOn executes the unordered-algorithm loop of Figure 1a over the initial
+// task pool `items` on the given engine, with the scheduler selected in opt,
+// and returns the run's statistics. It blocks until every task (including
+// dynamically created ones) has committed. The engine's retained state is
+// reused; the run's committed output and event sequence are identical to a
+// fresh ForEach with the same options.
+func RunOn[T any](e *Engine, items []T, body func(*Ctx[T], T), opt Options) stats.Stats {
+	if e.closed {
+		panic("galois: run on a closed Engine")
+	}
+	if !e.running.CompareAndSwap(false, true) {
+		panic("galois: concurrent runs on one Engine")
+	}
+	defer e.running.Store(false)
+
 	if opt.Threads <= 0 {
-		opt.Threads = para.DefaultThreads()
+		opt.Threads = e.threads
 	}
 	// Per-thread sinks and registries are sized at construction; growing
 	// them lock-free mid-run is impossible, so undersizing is a programming
@@ -27,7 +177,7 @@ func ForEach[T any](items []T, body func(*Ctx[T], T), opt Options) stats.Stats {
 		panic(fmt.Sprintf("galois: metrics registry sized for %d threads attached to a %d-thread run",
 			opt.Metrics.Threads(), opt.Threads))
 	}
-	col := stats.NewCollector(opt.Threads)
+	col := e.collector(opt.Threads)
 	if opt.Trace {
 		col.EnableTrace()
 	}
@@ -38,18 +188,38 @@ func ForEach[T any](items []T, body func(*Ctx[T], T), opt Options) stats.Stats {
 	emit(opt.Sink, 0, obs.Event{Kind: obs.KindRunStart,
 		Args: [4]int64{sched, int64(opt.Threads), int64(len(items))}})
 	col.Start()
-	switch opt.Sched {
-	case Deterministic:
-		runDeterministic(items, body, opt, col)
-	default:
-		runNonDeterministic(items, body, opt, col)
+	// An empty loop runs no scheduler at all: the event sequence is exactly
+	// run-start/run-end with zero rounds and no worker events, under both
+	// schedulers (previously the non-deterministic path forked workers that
+	// each emitted a worker summary for an empty run).
+	if len(items) > 0 {
+		st := stateFor[T](e)
+		switch opt.Sched {
+		case Deterministic:
+			runDeterministic(e, st, items, body, opt, col)
+		default:
+			runNonDeterministic(e, st, items, body, opt, col)
+		}
 	}
 	col.Stop()
-	st := col.Snapshot()
+	snap := col.Snapshot()
 	emit(opt.Sink, 0, obs.Event{Kind: obs.KindRunEnd,
-		Args: [4]int64{int64(st.Commits), int64(st.Aborts), int64(st.Rounds)}})
+		Args: [4]int64{int64(snap.Commits), int64(snap.Aborts), int64(snap.Rounds)}})
 	if opt.Metrics != nil {
-		obs.PublishStats(opt.Metrics, st)
+		obs.PublishStats(opt.Metrics, snap)
 	}
-	return st
+	return snap
+}
+
+// ForEach executes the loop with transient state: on the engine supplied in
+// opt if any, otherwise on a fresh single-run engine. It is the one-shot
+// form of RunOn; repeated callers should hold an Engine and pass it via
+// Options.Engine (galois.WithEngine) to amortize run state.
+func ForEach[T any](items []T, body func(*Ctx[T], T), opt Options) stats.Stats {
+	if opt.Engine != nil {
+		return RunOn(opt.Engine, items, body, opt)
+	}
+	e := NewEngine(opt.Threads)
+	defer e.Close()
+	return RunOn(e, items, body, opt)
 }

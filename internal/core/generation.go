@@ -1,0 +1,123 @@
+package core
+
+import "math/bits"
+
+// genArena is the backing storage for one generation: the task records, the
+// deterministic-order pointer slice, and a second pointer slice used as the
+// destination of the locality interleave. Arenas are sized in power-of-two
+// classes so an engine can recycle them across generations and runs whose
+// sizes differ (a BFS frontier grows and shrinks by orders of magnitude
+// within one run). The per-task scratch slices (acquired, children) live in
+// the task records, so recycling an arena also recycles every task's
+// neighborhood and child buffers at their high-water capacity.
+type genArena[T any] struct {
+	tasks []detTask[T]
+	order []*detTask[T]
+	perm  []*detTask[T]
+}
+
+// arenaClass returns the free-list class for a generation of n tasks: the
+// exponent of the smallest power of two >= n (floored so tiny generations
+// share one class).
+func arenaClass(n int) int {
+	if n <= 16 {
+		return 4
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// genFreeList is a size-classed free list of generation arenas, one slot per
+// power-of-two class. One slot suffices because at most one generation is
+// live at a time within a run: the scheduler releases generation g before
+// taking storage for generation g+1, so a steady-state run ping-pongs on the
+// same arena(s) and allocates nothing.
+type genFreeList[T any] struct {
+	byClass [65]*genArena[T]
+}
+
+// take returns an arena with capacity for n tasks, recycling a free one of
+// the right class when available.
+func (fl *genFreeList[T]) take(n int) *genArena[T] {
+	c := arenaClass(n)
+	if a := fl.byClass[c]; a != nil {
+		fl.byClass[c] = nil
+		return a
+	}
+	capacity := 1 << c
+	a := &genArena[T]{
+		tasks: make([]detTask[T], capacity),
+		order: make([]*detTask[T], capacity),
+		perm:  make([]*detTask[T], capacity),
+	}
+	return a
+}
+
+// put returns an arena to the free list. The class slot holds one arena;
+// a displaced arena is dropped to the garbage collector (this only happens
+// when generation sizes oscillate faster than reuse, which recycling by
+// class makes rare).
+func (fl *genFreeList[T]) put(a *genArena[T]) {
+	fl.byClass[arenaClass(len(a.tasks))] = a
+}
+
+// generation owns one DIG generation: its task storage and the tasks'
+// deterministic order, including id assignment (§3.2: a task's id is its
+// position in the generation's sorted order; 0 is reserved for "unowned").
+type generation[T any] struct {
+	arena *genArena[T]
+	// tasks is the generation in deterministic order; it aliases
+	// arena.order (or arena.perm after an interleave).
+	tasks []*detTask[T]
+}
+
+// fill populates the generation with n tasks produced by item, resetting
+// recycled task records while preserving their scratch capacity.
+func (g *generation[T]) fill(n int, item func(int) T) {
+	backing := g.arena.tasks[:n]
+	order := g.arena.order[:n]
+	for i := range backing {
+		t := &backing[i]
+		t.item = item(i)
+		t.acquired = t.acquired[:0]
+		t.children = t.children[:0]
+		t.commitFn = nil
+		t.failed = false
+		order[i] = t
+	}
+	g.tasks = order
+}
+
+func (g *generation[T]) len() int { return len(g.tasks) }
+
+// interleave applies the locality-aware round placement of §3.3 for an
+// initial window w0 (see interleavePermute), permuting into the arena's
+// second pointer slice so repeated runs allocate nothing.
+func (g *generation[T]) interleave(w0 int) {
+	n := len(g.tasks)
+	if n <= 2 || w0 <= 0 || w0 >= n {
+		return
+	}
+	buckets := (n + w0 - 1) / w0
+	if buckets <= 1 {
+		return
+	}
+	dst := g.arena.perm[:0]
+	for b := 0; b < buckets; b++ {
+		for i := b; i < n; i += buckets {
+			dst = append(dst, g.tasks[i])
+		}
+	}
+	// Ping-pong the two pointer slices so a later fill reuses both.
+	g.arena.perm = g.arena.order
+	g.arena.order = dst[:cap(dst)]
+	g.tasks = dst
+}
+
+// assignIDs gives every task its deterministic id: its position in the
+// generation's order, offset by one because id 0 means "unowned" in the
+// marks protocol (§3.2).
+func (g *generation[T]) assignIDs() {
+	for i, t := range g.tasks {
+		t.rec.Reset(uint64(i) + 1)
+	}
+}

@@ -32,10 +32,11 @@ func interleavePermute[S ~[]E, E any](tasks S, w0 int) S {
 // parallelism cannot perturb the order). In the default mode the key is
 // the lexicographic pair (id(parent), k) of §3.2; with pre-assigned ids
 // (§3.3) the user-supplied id leads the key and (parent, k) breaks ties
-// deterministically.
-func sortChildren[T any](cs []child[T], preassigned bool, threads int) {
+// deterministically. scratch is the reusable merge buffer (engine-retained),
+// grown and returned by psort.SortScratch.
+func sortChildren[T any](cs []child[T], preassigned bool, threads int, scratch []child[T]) []child[T] {
 	if preassigned {
-		psort.Sort(cs, func(a, b child[T]) int {
+		return psort.SortScratch(cs, func(a, b child[T]) int {
 			switch {
 			case a.pre != b.pre:
 				return cmpU64(a.pre, b.pre)
@@ -44,15 +45,14 @@ func sortChildren[T any](cs []child[T], preassigned bool, threads int) {
 			default:
 				return cmpU64(a.k, b.k)
 			}
-		}, threads)
-		return
+		}, threads, scratch)
 	}
-	psort.Sort(cs, func(a, b child[T]) int {
+	return psort.SortScratch(cs, func(a, b child[T]) int {
 		if a.parent != b.parent {
 			return cmpU64(a.parent, b.parent)
 		}
 		return cmpU64(a.k, b.k)
-	}, threads)
+	}, threads, scratch)
 }
 
 func cmpU64(a, b uint64) int {

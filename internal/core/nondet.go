@@ -4,9 +4,7 @@ import (
 	"runtime"
 	"sync/atomic"
 
-	"galois/internal/marks"
 	"galois/internal/obs"
-	"galois/internal/para"
 	"galois/internal/stats"
 	"galois/internal/worklist"
 )
@@ -20,17 +18,15 @@ type obimAdapter[T any] struct {
 func (a *obimAdapter[T]) Push(tid int, item T)  { a.obim.PushPrio(tid, item, a.prio(item)) }
 func (a *obimAdapter[T]) Pop(tid int) (T, bool) { return a.obim.Pop(tid) }
 
-// runNonDeterministic is the speculative scheduler of Figure 1b: each
-// worker repeatedly pops an arbitrary task, acquires its neighborhood marks
-// with compare-and-set as the body executes, and either commits (running
-// the deferred write phase and enqueueing created tasks) or aborts on
-// conflict (releasing its marks and retrying the task later).
-func runNonDeterministic[T any](items []T, body func(*Ctx[T], T), opt Options, col *stats.Collector) {
-	nthreads := opt.Threads
-	var wl interface {
-		Push(tid int, item T)
-		Pop(tid int) (T, bool)
-	}
+// pickWorklist selects the run's worklist, reusing the engine-retained one
+// when its kind and size fit. A drained worklist is structurally empty, so
+// reuse is invisible to the run; the chunks it accumulated stay allocated,
+// which is the reuse win. OBIM worklists are rebuilt per run — they embed
+// the run's priority function and bucket count, which may change.
+func pickWorklist[T any](st *engState[T], opt Options, nthreads int) interface {
+	Push(tid int, item T)
+	Pop(tid int) (T, bool)
+} {
 	switch {
 	case opt.Priority != nil:
 		fn, ok := opt.Priority.(func(T) int)
@@ -41,12 +37,39 @@ func runNonDeterministic[T any](items []T, body func(*Ctx[T], T), opt Options, c
 		if levels <= 0 {
 			levels = 64
 		}
-		wl = &obimAdapter[T]{obim: worklist.NewOBIM[T](nthreads, levels), prio: fn}
+		return &obimAdapter[T]{obim: worklist.NewOBIM[T](nthreads, levels), prio: fn}
 	case opt.FIFO:
-		wl = worklist.NewChunkedFIFO[T](nthreads)
+		if st.fifo == nil || st.fifoThreads < nthreads {
+			st.fifo = worklist.NewChunkedFIFO[T](nthreads)
+			st.fifoThreads = nthreads
+		}
+		return st.fifo
 	default:
-		wl = worklist.NewChunkedLIFO[T](nthreads)
+		if st.lifo == nil || st.lifoThreads < nthreads {
+			st.lifo = worklist.NewChunkedLIFO[T](nthreads)
+			st.lifoThreads = nthreads
+		}
+		return st.lifo
 	}
+}
+
+// runNonDeterministic is the speculative scheduler of Figure 1b: each
+// worker repeatedly pops an arbitrary task, acquires its neighborhood marks
+// with compare-and-set as the body executes, and either commits (running
+// the deferred write phase and enqueueing created tasks) or aborts on
+// conflict (releasing its marks and retrying the task later). It runs on
+// the engine's persistent worker pool and reuses the engine-retained
+// contexts, mark records and worklist.
+func runNonDeterministic[T any](e *Engine, st *engState[T], items []T, body func(*Ctx[T], T), opt Options, col *stats.Collector) {
+	nthreads := opt.Threads
+	met := e.metricsFor(opt.Metrics)
+
+	st.ensure(nthreads)
+	for _, ctx := range st.ctxs[:nthreads] {
+		ctx.prepare(nthreads, false, col, opt, met)
+	}
+
+	wl := pickWorklist(st, opt, nthreads)
 
 	// Seed the worklist round-robin so workers start with local work and
 	// the initial distribution is balanced.
@@ -60,14 +83,13 @@ func runNonDeterministic[T any](items []T, body func(*Ctx[T], T), opt Options, c
 	var pending atomic.Int64
 	pending.Store(int64(len(items)))
 
-	met := newCoreMetrics(opt.Metrics)
-	para.Run(nthreads, func(tid int) {
-		ctx := &Ctx[T]{threads: nthreads, det: false, col: col, pro: opt.Profile, met: met}
+	e.pool.Run(nthreads, func(tid int) {
+		ctx := st.ctxs[tid]
 		// Per-worker tallies for the worker-summary trace event. The
 		// event goes to the worker's own lock-free buffer, so emission
 		// adds no synchronization between workers.
 		var commits, aborts int64
-		rec := &marks.Rec{}
+		rec := st.recs[tid]
 		// Ids only need to be unique for the non-deterministic marks
 		// protocol (§2.1); pointer identity of rec provides that, and
 		// a nonzero ID keeps invariants uniform with DIG mode.

@@ -98,6 +98,12 @@ type Options struct {
 	// Profile, if non-nil, records abstract-location accesses for the
 	// locality study of §5.4 (Figures 11 and 12).
 	Profile *cachesim.Tracer
+
+	// Engine, if non-nil, supplies retained run state (worker pool,
+	// barriers, arenas, contexts, scratch) that the run reuses instead of
+	// allocating fresh. Reuse does not change committed output or the
+	// event sequence. See NewEngine.
+	Engine *Engine
 }
 
 // Defaults returns the default options: non-deterministic scheduling on all

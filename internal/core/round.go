@@ -1,0 +1,138 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"galois/internal/obs"
+	"galois/internal/para"
+	"galois/internal/stats"
+)
+
+// roundExecutor runs one generation to completion: it owns the round state
+// (the window of tasks under attempt, the pending remainder), the chunked
+// distribution of inspect and execute work across workers, and the phase
+// loop each worker runs between barriers — the inspect / selectAndExec
+// structure of Figure 2. Worker 0 doubles as the round coordinator; the
+// serial gather-and-adapt step between barriers is delegated to the
+// commitCollector.
+//
+// All non-atomic fields are written only in serial sections (before the
+// workers fork, or inside worker 0's coordinator block between barriers).
+type roundExecutor[T any] struct {
+	opt  Options
+	body func(*Ctx[T], T)
+	ctxs []*Ctx[T]
+	col  *stats.Collector
+	met  *coreMetrics
+	sink obs.Sink
+
+	nthreads int
+	genIdx   int32
+	round    int32
+	done     bool
+
+	// next is the generation's pending tasks in deterministic order; cur is
+	// the current round's window prefix (capacity-capped so no append can
+	// spill into rest), rest the remainder.
+	next []*detTask[T]
+	w    int
+	cur  []*detTask[T]
+	rest []*detTask[T]
+
+	// insCtr/exeCtr distribute cur in chunks during the parallel phases.
+	insCtr atomic.Int64
+	exeCtr atomic.Int64
+	chunk  int64
+
+	win windowPolicy
+	cc  *commitCollector[T]
+}
+
+// setupRound forms the next round from the pending tasks, or marks the
+// generation done. Serial (pre-fork or coordinator).
+func (r *roundExecutor[T]) setupRound() {
+	if len(r.next) == 0 {
+		r.done = true
+		return
+	}
+	w := r.win.next(len(r.next))
+	r.w = w
+	r.cur, r.rest = r.next[:w:w], r.next[w:]
+	r.round++
+	emit(r.sink, 0, obs.Event{Kind: obs.KindRoundStart, Gen: r.genIdx, Round: r.round,
+		Args: [4]int64{int64(w), int64(len(r.rest))}})
+	chunk := int64(w / (r.nthreads * 8))
+	if chunk < 1 {
+		chunk = 1
+	}
+	if chunk > 64 {
+		chunk = 64
+	}
+	r.chunk = chunk
+	r.insCtr.Store(0)
+	r.exeCtr.Store(0)
+}
+
+// inspectPhase is one worker's share of Phase 1 (Figure 2 line 14): claim
+// chunks of the window and run each task through its failsafe point in
+// inspect mode.
+func (r *roundExecutor[T]) inspectPhase(ctx *Ctx[T], tid int) {
+	for {
+		start := r.insCtr.Add(r.chunk) - r.chunk
+		if start >= int64(len(r.cur)) {
+			return
+		}
+		end := min(start+r.chunk, int64(len(r.cur)))
+		for _, t := range r.cur[start:end] {
+			inspectTask(ctx, t, r.body, tid, r.opt.Continuation)
+		}
+	}
+}
+
+// execPhase is one worker's share of Phase 2 (Figure 2 line 19): claim
+// chunks and commit or fail each task of the window.
+func (r *roundExecutor[T]) execPhase(ctx *Ctx[T], tid int) {
+	for {
+		start := r.exeCtr.Add(r.chunk) - r.chunk
+		if start >= int64(len(r.cur)) {
+			return
+		}
+		end := min(start+r.chunk, int64(len(r.cur)))
+		for _, t := range r.cur[start:end] {
+			execTask(ctx, t, r.body, tid, r.opt.Continuation)
+		}
+	}
+}
+
+// run executes the generation on the engine's worker pool and leaves the
+// produced children in the commit collector. Workers are persistent across
+// rounds and synchronize with the engine's barrier, mirroring the barrier
+// structure of Figure 2.
+func (r *roundExecutor[T]) run(pool *para.Pool, bar *para.Barrier) {
+	r.round = -1
+	r.done = false
+	r.setupRound()
+	if r.done {
+		return
+	}
+	pool.Run(r.nthreads, func(tid int) {
+		ctx := r.ctxs[tid]
+		for {
+			if r.done {
+				return
+			}
+			r.inspectPhase(ctx, tid)
+			bar.Wait()
+			r.execPhase(ctx, tid)
+			bar.Wait()
+			// Coordination: gather results, adapt the window, form the
+			// next round (Figure 2 lines 9-12). Worker 0 runs this
+			// serially between barriers.
+			if tid == 0 {
+				r.cc.gather(r)
+				r.setupRound()
+			}
+			bar.Wait()
+		}
+	})
+}

@@ -148,7 +148,7 @@ func TestSortChildrenLexicographic(t *testing.T) {
 		{item: "b", parent: 1, k: 2},
 		{item: "d", parent: 2, k: 2},
 	}
-	sortChildren(cs, false, 2)
+	sortChildren(cs, false, 2, nil)
 	got := ""
 	for _, c := range cs {
 		got += c.item
@@ -164,7 +164,7 @@ func TestSortChildrenPreassigned(t *testing.T) {
 		{item: "a", parent: 1, k: 3, pre: 2},
 		{item: "c", parent: 1, k: 1, pre: 5}, // tie on pre: parent breaks it
 	}
-	sortChildren(cs, true, 2)
+	sortChildren(cs, true, 2, nil)
 	got := ""
 	for _, c := range cs {
 		got += c.item

@@ -2,7 +2,10 @@ package harness
 
 import (
 	"fmt"
+	"runtime"
 
+	"galois"
+	"galois/internal/apps/dmr"
 	"galois/internal/obs"
 )
 
@@ -59,6 +62,100 @@ func CollectBench(in *Inputs, threads int, scale string) *obs.Bench {
 				continue
 			}
 			b.Add(BenchEntry(in.RunOnce(app, variant, threads, nil), scale))
+		}
+	}
+	return b
+}
+
+// MeasureAllocs runs fn reps times and returns its mean per-run heap
+// allocation profile, from runtime.ReadMemStats deltas. Mallocs and
+// TotalAlloc are cumulative and GC-independent, so the measurement needs no
+// GC coordination; it does assume no unrelated goroutines are allocating.
+func MeasureAllocs(reps int, fn func()) (allocsPerOp, bytesPerOp uint64) {
+	if reps < 1 {
+		reps = 1
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < reps; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&after)
+	n := uint64(reps)
+	return (after.Mallocs - before.Mallocs) / n, (after.TotalAlloc - before.TotalAlloc) / n
+}
+
+// perRunBuildCost measures the allocations of the input-construction work
+// RunOnce performs inside itself before its timed region (dmr rebuilds its
+// mesh every run, pfp resets its network). Run.Elapsed already excludes
+// this work, so the allocation columns subtract it too — both columns then
+// describe the same region: the scheduled run.
+func (in *Inputs) perRunBuildCost(app string) (allocs, bytes uint64) {
+	switch app {
+	case "dmr":
+		q := dmr.DefaultQuality()
+		return MeasureAllocs(1, func() {
+			root := dmr.MakeInput(in.dmrPts, in.sc.Seed+4)
+			_, _ = root, q
+		})
+	case "pfp":
+		return MeasureAllocs(1, func() { in.pfpNet.Reset() })
+	default:
+		return 0, 0
+	}
+}
+
+// CollectBenchAllocs measures every app × Galois-scheduler variant at the
+// given thread count in both run-state modes — fresh state per run (Mode
+// "", the v1-comparable baseline) and reusing one warm engine per cell
+// (Mode "engine") — and returns the v2 trajectory with allocation columns
+// filled in. The paired entries are the before/after allocation story of
+// engine reuse; fingerprints are identical across the pair by the engine
+// invariant. The columns cover the same region WallNS does (per-run input
+// construction excluded); remaining app-side allocations — result arrays,
+// commit closures, dt's output mesh — appear in both modes, so the pair's
+// delta is the scheduler's own allocation cost.
+func CollectBenchAllocs(in *Inputs, threads int, scale string) *obs.Bench {
+	b := obs.NewBench()
+	const reps = 3
+	savedEngine := in.Engine
+	defer func() { in.Engine = savedEngine }()
+	sub := func(a, b uint64) uint64 {
+		if a < b {
+			return 0
+		}
+		return a - b
+	}
+	for _, app := range Apps {
+		buildAllocs, buildBytes := in.perRunBuildCost(app)
+		for _, variant := range []string{"g-n", "g-d", "g-dnc"} {
+			if !HasVariant(app, variant) {
+				continue
+			}
+			var last Run
+			// Fresh: run state is built and discarded every run.
+			in.Engine = nil
+			in.RunOnce(app, variant, threads, nil) // warm app-side caches
+			allocs, bytes := MeasureAllocs(reps, func() {
+				last = in.RunOnce(app, variant, threads, nil)
+			})
+			e := BenchEntry(last, scale)
+			e.AllocsPerOp, e.BytesPerOp = sub(allocs, buildAllocs), sub(bytes, buildBytes)
+			b.Add(e)
+			// Engine: same cell, steady state of a reused engine.
+			eng := galois.NewEngine(galois.WithThreads(threads))
+			in.Engine = eng
+			in.RunOnce(app, variant, threads, nil) // warm the engine
+			in.RunOnce(app, variant, threads, nil)
+			allocs, bytes = MeasureAllocs(reps, func() {
+				last = in.RunOnce(app, variant, threads, nil)
+			})
+			e = BenchEntry(last, scale)
+			e.Mode = "engine"
+			e.AllocsPerOp, e.BytesPerOp = sub(allocs, buildAllocs), sub(bytes, buildBytes)
+			b.Add(e)
+			eng.Close()
+			in.Engine = nil
 		}
 	}
 	return b

@@ -106,6 +106,12 @@ type Inputs struct {
 	TraceSink galois.TraceSink
 	// Metrics, if non-nil, is attached to every Galois-variant run.
 	Metrics *galois.Metrics
+	// Engine, if non-nil, supplies retained run state to every
+	// Galois-variant run dispatched through this Inputs (galois.WithEngine).
+	// Reuse changes neither outputs nor event sequences, only allocation
+	// behavior; fingerprints are engine-invariant by construction (and
+	// tested to be).
+	Engine *galois.Engine
 }
 
 // MakeInputs generates all inputs for sc once.
@@ -150,6 +156,9 @@ func (in *Inputs) galoisOpts(variant string, threads int, profile *cachesim.Trac
 	}
 	if in.Metrics != nil {
 		opts = append(opts, galois.WithMetrics(in.Metrics))
+	}
+	if in.Engine != nil {
+		opts = append(opts, galois.WithEngine(in.Engine))
 	}
 	return opts
 }

@@ -270,3 +270,58 @@ func TestRunDetTunedVariants(t *testing.T) {
 	}
 	in.RunDetTuned(t, "pfp", 2, 0, 0, false)
 }
+
+// TestEngineReuseFingerprints is the harness-level engine invariant: for
+// every app, deterministic runs that reuse one engine (three in a row, so
+// the second and third hit fully warm state) commit fingerprints
+// byte-identical to a fresh ForEach at every thread count, with and
+// without the continuation optimization.
+func TestEngineReuseFingerprints(t *testing.T) {
+	in := smallInputs()
+	for _, app := range Apps {
+		for _, variant := range []string{"g-d", "g-dnc"} {
+			for _, th := range []int{1, 2, 4, 8} {
+				in.Engine = nil
+				want := in.RunOnce(app, variant, th, nil).Fingerprint
+				eng := galois.NewEngine(galois.WithThreads(th))
+				in.Engine = eng
+				for run := 0; run < 3; run++ {
+					got := in.RunOnce(app, variant, th, nil).Fingerprint
+					if got != want {
+						t.Errorf("%s/%s t%d run %d: engine fingerprint %#x != fresh %#x",
+							app, variant, th, run, got, want)
+					}
+				}
+				eng.Close()
+				in.Engine = nil
+			}
+		}
+	}
+}
+
+// TestEngineSteadyStateAllocs checks the allocation payoff end-to-end: a
+// warm engine-reused deterministic run of a real app allocates less than
+// half of what a fresh run does (the residue is app-side — result arrays,
+// input bookkeeping — which reuse cannot and should not remove).
+func TestEngineSteadyStateAllocs(t *testing.T) {
+	in := smallInputs()
+	for _, app := range []string{"bfs", "mis"} {
+		in.Engine = nil
+		in.RunOnce(app, "g-d", 2, nil) // warm app-side caches
+		freshAllocs, _ := MeasureAllocs(3, func() { in.RunOnce(app, "g-d", 2, nil) })
+
+		eng := galois.NewEngine(galois.WithThreads(2))
+		in.Engine = eng
+		in.RunOnce(app, "g-d", 2, nil) // warm the engine
+		in.RunOnce(app, "g-d", 2, nil)
+		engineAllocs, _ := MeasureAllocs(3, func() { in.RunOnce(app, "g-d", 2, nil) })
+		eng.Close()
+		in.Engine = nil
+
+		if engineAllocs*2 > freshAllocs {
+			t.Errorf("%s: engine run allocates %d objects vs %d fresh — reuse saves less than half",
+				app, engineAllocs, freshAllocs)
+		}
+		t.Logf("%s: allocs/run fresh=%d engine=%d", app, freshAllocs, engineAllocs)
+	}
+}

@@ -101,6 +101,12 @@ func TestGlobalRandPass(t *testing.T)     { checkFixture(t, "globalrand") }
 func TestCautiousPass(t *testing.T)       { checkFixture(t, "cautious") }
 func TestGoroutineOrderPass(t *testing.T) { checkFixture(t, "goroutineorder") }
 
+// TestPersistentWorkerPoolFixture pins the analyzer's coverage of the
+// engine's persistent-worker substrate (internal/para.Pool): an
+// unannotated parked-worker spawn is still a goroutineorder finding, and
+// the annotated form documenting the merge order is accepted.
+func TestPersistentWorkerPoolFixture(t *testing.T) { checkFixture(t, "poolspawn") }
+
 // TestObsScopeAllRulesFire proves the obsscope fixture seeds real hazards:
 // with no rule exemptions both the clock read and the map-range payload
 // are flagged.

@@ -1,0 +1,60 @@
+// Package poolspawn is a detlint test fixture: a persistent worker pool
+// (the internal/para.Pool shape) whose worker launch must either be
+// flagged by goroutineorder or carry an annotation stating the merge
+// order. This is the substrate both schedulers run on when engine-driven,
+// so the analyzer must not develop a blind spot for parked-worker spawns:
+// they are fork-join in slow motion — the fork is at pool growth, the
+// join at the end of every run.
+package poolspawn
+
+import "sync"
+
+type pool struct {
+	starts []chan struct{}
+	wg     sync.WaitGroup
+	body   func(int)
+}
+
+// growUnannotated spawns parked workers with no statement of how their
+// results merge deterministically; the analyzer must flag it.
+func (p *pool) growUnannotated(k int) {
+	for len(p.starts) < k {
+		start := make(chan struct{})
+		tid := len(p.starts) + 1
+		p.starts = append(p.starts, start)
+		go func() { // want goroutineorder
+			for range start {
+				p.body(tid)
+				p.wg.Done()
+			}
+		}()
+	}
+}
+
+// growAnnotated is the accepted form: the suppression names the merge
+// discipline (tid identity plus barrier/id-ordered merges above).
+func (p *pool) growAnnotated(k int) {
+	for len(p.starts) < k {
+		start := make(chan struct{})
+		tid := len(p.starts) + 1
+		p.starts = append(p.starts, start)
+		//detlint:ignore goroutineorder workers are identified by tid and park between runs; the scheduler above orders all cross-thread merges by round barrier and task id
+		go func() {
+			for range start {
+				p.body(tid)
+				p.wg.Done()
+			}
+		}()
+	}
+}
+
+func (p *pool) run(parties int, body func(int)) {
+	p.growAnnotated(parties - 1)
+	p.body = body
+	p.wg.Add(parties - 1)
+	for i := 0; i < parties-1; i++ {
+		p.starts[i] <- struct{}{}
+	}
+	body(0)
+	p.wg.Wait()
+}

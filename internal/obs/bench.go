@@ -8,8 +8,15 @@ import (
 )
 
 // BenchSchema identifies the benchmark-trajectory file format. Bump on
-// incompatible field changes so cross-PR diffs stay meaningful.
-const BenchSchema = "galois-bench/v1"
+// incompatible field changes so cross-PR diffs stay meaningful. v2 adds
+// allocation columns (allocs_per_op, bytes_per_op) and the run mode
+// ("" = fresh state per run, "engine" = reused engine); v1 files are still
+// readable (their new fields decode as zero/absent).
+const BenchSchema = "galois-bench/v2"
+
+// benchSchemaV1 is the previous format, accepted on read so benchdiff can
+// compare across the schema bump.
+const benchSchemaV1 = "galois-bench/v1"
 
 // BenchEntry is one measured app × variant × threads cell. Everything
 // except WallNS is a pure function of the input under the deterministic
@@ -32,6 +39,19 @@ type BenchEntry struct {
 	MeanWindow float64 `json:"mean_window"`
 	// Fingerprint is the run's output fingerprint, in hex.
 	Fingerprint string `json:"fingerprint"`
+	// Mode distinguishes run-state handling: "" means fresh state per run
+	// (the only mode v1 files have, so keys stay comparable across the
+	// schema bump), "engine" means the run reused a warm engine.
+	Mode string `json:"mode,omitempty"`
+	// AllocsPerOp/BytesPerOp are heap allocations and bytes per run
+	// (runtime mallocs, measured around the whole run; 0 = not measured).
+	AllocsPerOp uint64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  uint64 `json:"bytes_per_op,omitempty"`
+}
+
+// Key identifies an entry for cross-file comparison.
+func (e BenchEntry) Key() string {
+	return fmt.Sprintf("%s/%s/t%d/%s/%s", e.App, e.Variant, e.Threads, e.Scale, e.Mode)
 }
 
 // Bench is a benchmark-trajectory file: one JSON document per PR
@@ -61,7 +81,10 @@ func (b *Bench) Sort() {
 		if a.Threads != c.Threads {
 			return a.Threads < c.Threads
 		}
-		return a.Scale < c.Scale
+		if a.Scale != c.Scale {
+			return a.Scale < c.Scale
+		}
+		return a.Mode < c.Mode
 	})
 }
 
@@ -89,8 +112,20 @@ func ReadBenchFile(path string) (*Bench, error) {
 	if err := json.Unmarshal(data, &b); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	if b.Schema != BenchSchema {
-		return nil, fmt.Errorf("%s: schema %q, want %q", path, b.Schema, BenchSchema)
+	if b.Schema != BenchSchema && b.Schema != benchSchemaV1 {
+		return nil, fmt.Errorf("%s: schema %q, want %q (or %q)", path, b.Schema, BenchSchema, benchSchemaV1)
 	}
 	return &b, nil
+}
+
+// HasAllocs reports whether any entry carries allocation columns — false
+// for v1-era files, letting differs skip allocation comparison against
+// trajectories that never measured it.
+func (b *Bench) HasAllocs() bool {
+	for _, e := range b.Entries {
+		if e.AllocsPerOp > 0 || e.BytesPerOp > 0 {
+			return true
+		}
+	}
+	return false
 }

@@ -104,3 +104,90 @@ func TestBarrierSingleParty(t *testing.T) {
 		b.Wait() // must not block
 	}
 }
+
+func TestPoolRunAllTids(t *testing.T) {
+	p := NewPool()
+	defer p.Close()
+	for run := 0; run < 5; run++ {
+		var mask atomic.Int64
+		p.Run(8, func(tid int) { mask.Add(1 << tid) })
+		if mask.Load() != (1<<8)-1 {
+			t.Fatalf("run %d: mask = %x", run, mask.Load())
+		}
+	}
+	if p.Workers() != 7 {
+		t.Fatalf("workers = %d, want 7 (tid 0 is the caller)", p.Workers())
+	}
+}
+
+func TestPoolGrowsLazily(t *testing.T) {
+	p := NewPool()
+	defer p.Close()
+	if p.Workers() != 0 {
+		t.Fatalf("fresh pool has %d workers", p.Workers())
+	}
+	p.Run(1, func(tid int) {
+		if tid != 0 {
+			t.Errorf("single-party run on tid %d", tid)
+		}
+	})
+	if p.Workers() != 0 {
+		t.Fatal("single-party run spawned workers")
+	}
+	p.Run(3, func(tid int) {})
+	if p.Workers() != 2 {
+		t.Fatalf("workers = %d after 3-party run", p.Workers())
+	}
+	p.Run(6, func(tid int) {})
+	if p.Workers() != 5 {
+		t.Fatalf("workers = %d after 6-party run", p.Workers())
+	}
+	// Shrinking party counts reuse a subset; the pool never shrinks.
+	var mask atomic.Int64
+	p.Run(2, func(tid int) { mask.Add(1 << tid) })
+	if mask.Load() != 3 {
+		t.Fatalf("2-party mask = %x", mask.Load())
+	}
+	if p.Workers() != 5 {
+		t.Fatalf("pool shrank to %d workers", p.Workers())
+	}
+}
+
+func TestPoolSteadyStateAllocs(t *testing.T) {
+	p := NewPool()
+	defer p.Close()
+	body := func(tid int) {}
+	p.Run(4, body) // spawn
+	allocs := testing.AllocsPerRun(100, func() { p.Run(4, body) })
+	if allocs > 0 {
+		t.Fatalf("steady-state pool Run allocates %.1f objects", allocs)
+	}
+}
+
+func TestPoolCloseIsIdempotentAndRunPanics(t *testing.T) {
+	p := NewPool()
+	p.Run(4, func(tid int) {})
+	p.Close()
+	p.Close()
+	// Single-party runs bypass the workers and stay legal semantically,
+	// but multi-party runs on a closed pool must panic.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for Run on closed pool")
+		}
+	}()
+	p.Run(2, func(tid int) {})
+}
+
+func TestPoolBodyPanicPropagates(t *testing.T) {
+	// tid 0 runs on the caller, so a panic in the user body (which the
+	// schedulers funnel through tid 0) surfaces on the Run caller.
+	p := NewPool()
+	defer p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic did not propagate")
+		}
+	}()
+	p.Run(1, func(tid int) { panic("boom") })
+}

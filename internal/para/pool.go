@@ -1,0 +1,90 @@
+package para
+
+import "sync"
+
+// Pool is a persistent worker pool: a fixed set of goroutines that park
+// between runs and execute scheduler bodies on demand. It is the
+// persistent-worker substrate both Galois schedulers run on when driven
+// through an engine (internal/core.Engine): Run replaces a per-call
+// `go`-spawn fan-out with a signal to already-running workers, so the
+// steady state of a repeatedly reused engine spawns no goroutines and
+// allocates nothing per run.
+//
+// Determinism: like Run (the one-shot fork-join), the pool only decides
+// WHICH goroutine executes body(tid) — the schedulers built on top order
+// every cross-thread merge by round barrier and task id, so worker wakeup
+// order cannot reach committed output.
+//
+// A Pool is not safe for concurrent Run calls; the schedulers serialize
+// runs per engine. Workers are spawned lazily, so a Pool that only ever
+// runs single-threaded costs nothing.
+type Pool struct {
+	// starts[i] wakes worker tid i+1 (tid 0 is the caller of Run).
+	starts []chan struct{}
+	wg     sync.WaitGroup
+	body   func(int)
+	closed bool
+}
+
+// NewPool returns an empty pool. Workers are spawned on first demand by
+// Run, so the hint-free constructor is cheap.
+func NewPool() *Pool { return &Pool{} }
+
+// Workers returns the number of parked worker goroutines (excluding the
+// caller, which always acts as tid 0).
+func (p *Pool) Workers() int { return len(p.starts) }
+
+// Run executes body(tid) for every tid in [0, parties), with tid 0 on the
+// calling goroutine and the rest on pool workers, and returns when all
+// have finished — the same contract as para.Run, minus the per-call
+// goroutine spawns. The channel send/receive pairs order the write of
+// p.body before every worker's read, and wg.Wait orders every worker's
+// final read before Run returns.
+func (p *Pool) Run(parties int, body func(tid int)) {
+	if parties <= 1 {
+		body(0)
+		return
+	}
+	if p.closed {
+		panic("para: Run on a closed Pool")
+	}
+	p.ensure(parties - 1)
+	p.body = body
+	p.wg.Add(parties - 1)
+	for i := 0; i < parties-1; i++ {
+		p.starts[i] <- struct{}{}
+	}
+	body(0)
+	p.wg.Wait()
+	// Drop the closure so the pool does not pin a finished run's state.
+	p.body = nil
+}
+
+// ensure grows the worker set to at least k parked workers.
+func (p *Pool) ensure(k int) {
+	for len(p.starts) < k {
+		start := make(chan struct{})
+		tid := len(p.starts) + 1
+		p.starts = append(p.starts, start)
+		//detlint:ignore goroutineorder persistent-worker launch: workers are identified by tid, park on their own channel between runs, and the schedulers driving the pool order all cross-thread merges by round barrier and task id
+		go func() {
+			for range start {
+				p.body(tid)
+				p.wg.Done()
+			}
+		}()
+	}
+}
+
+// Close retires all parked workers. The pool must not be running. Close is
+// idempotent; Run after Close panics.
+func (p *Pool) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for _, start := range p.starts {
+		close(start)
+	}
+	p.starts = nil
+}

@@ -19,17 +19,25 @@ const serialThreshold = 1 << 13
 // Sort sorts items in place with cmp (negative = a before b) using up to
 // nthreads goroutines.
 func Sort[T any](items []T, cmp func(a, b T) int, nthreads int) {
+	SortScratch(items, cmp, nthreads, nil)
+}
+
+// SortScratch is Sort with a caller-provided merge buffer. The buffer is
+// grown when too small and returned so callers that sort repeatedly (the
+// DIG scheduler sorts every generation's children) can reuse it and keep
+// their steady state allocation-free.
+func SortScratch[T any](items []T, cmp func(a, b T) int, nthreads int, scratch []T) []T {
 	n := len(items)
 	if nthreads <= 1 || n <= serialThreshold {
 		slices.SortStableFunc(items, cmp)
-		return
+		return scratch
 	}
 	blocks := nthreads
 	if n/blocks < serialThreshold/4 {
 		blocks = n / (serialThreshold / 4)
 		if blocks < 2 {
 			slices.SortStableFunc(items, cmp)
-			return
+			return scratch
 		}
 	}
 	// Block boundaries.
@@ -49,7 +57,10 @@ func Sort[T any](items []T, cmp func(a, b T) int, nthreads int) {
 	}
 	wg.Wait()
 	// Iterative pairwise merging, each level's merges in parallel.
-	buf := make([]T, n)
+	if cap(scratch) < n {
+		scratch = make([]T, n)
+	}
+	buf := scratch[:n]
 	src, dst := items, buf
 	for width := 1; width < blocks; width *= 2 {
 		var mw sync.WaitGroup
@@ -71,6 +82,7 @@ func Sort[T any](items []T, cmp func(a, b T) int, nthreads int) {
 	if &src[0] != &items[0] {
 		copy(items, src)
 	}
+	return scratch
 }
 
 // mergeInto merges the sorted runs a and b into out (stable: ties prefer a).

@@ -50,6 +50,28 @@ func NewCollector(nthreads int) *Collector {
 	return &Collector{threads: make([]threadCounters, nthreads)}
 }
 
+// Reset prepares a retained collector for another run of nthreads threads,
+// zeroing every counter. The per-thread slots are reused (grown only when
+// nthreads exceeds the previous high-water mark), so a reused collector
+// allocates nothing in steady state. The round-trace slice is dropped rather
+// than truncated: a prior Snapshot's Stats.Trace aliases it, and reusing the
+// backing array would corrupt that snapshot retroactively.
+func (c *Collector) Reset(nthreads int) {
+	if nthreads > len(c.threads) {
+		c.threads = make([]threadCounters, nthreads)
+	} else {
+		for i := range c.threads {
+			c.threads[i] = threadCounters{}
+		}
+	}
+	c.rounds.Store(0)
+	c.windowSum.Store(0)
+	c.traceEnabled = false
+	c.trace = nil
+	c.start = time.Time{}
+	c.elapsed = 0
+}
+
 // EnableTrace turns on per-round tracing (single-threaded append from the
 // scheduler's coordinator, so no locking is needed).
 func (c *Collector) EnableTrace() { c.traceEnabled = true }
