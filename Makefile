@@ -3,10 +3,10 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race trace-smoke bench-compare
+.PHONY: check build vet lint test race trace-smoke serve-smoke bench-compare
 
 # Everything CI runs, in CI's order.
-check: vet lint build test race trace-smoke bench-compare
+check: vet lint build test race trace-smoke serve-smoke bench-compare
 
 build:
 	$(GO) build ./...
@@ -29,7 +29,7 @@ test:
 # never exhibit, the race detector catches unsynchronized access the
 # linter cannot see.
 race:
-	$(GO) test -race ./internal/core/... ./internal/apps/...
+	$(GO) test -race ./internal/core/... ./internal/apps/... ./internal/serve/...
 
 # End-to-end trace check: run one traced figure at small scale, then prove
 # the emitted Chrome trace-event JSON parses and is structurally sound
@@ -38,6 +38,14 @@ race:
 trace-smoke:
 	$(GO) run ./cmd/repro -fig window -scale small -threads 2 -trace trace.json > /dev/null
 	$(GO) run ./cmd/tracecheck trace.json
+
+# End-to-end serving check: galoisd on an ephemeral port, a mixed
+# det/nondet workload at two client concurrency levels through galoisload,
+# three receipts replayed through POST /verify, then a graceful SIGTERM
+# drain. Fails on any determinism mismatch, verification failure or
+# request error; the load report lands in serve-load.json.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # Compare the two most recent committed benchmark trajectories
 # (BENCH_<n>.json). Wall-clock movement is report-only (different machines

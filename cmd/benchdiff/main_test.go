@@ -46,6 +46,9 @@ func TestDiffWallRegression(t *testing.T) {
 }
 
 func TestDiffAllocRegressionIsStrict(t *testing.T) {
+	// Small-count cells get zero allowance (50/100000 floors to 0): the
+	// engine-mode steady state is a handful of allocs and +1 there is a
+	// real per-construction cost.
 	old := bench(entry("bfs", 100, 50, "engine", "aa"))
 	r := diff(old, bench(entry("bfs", 100, 51, "engine", "aa")), 0.10)
 	if len(r.allocRegressions) != 1 {
@@ -54,6 +57,21 @@ func TestDiffAllocRegressionIsStrict(t *testing.T) {
 	r = diff(old, bench(entry("bfs", 100, 49, "engine", "aa")), 0.10)
 	if len(r.allocRegressions) != 0 {
 		t.Fatalf("alloc improvement flagged: %+v", r.allocRegressions)
+	}
+}
+
+func TestDiffAllocJitterAllowanceIsRelative(t *testing.T) {
+	// Big-count cells tolerate GC measurement jitter up to 10 ppm of the
+	// old value: 10_000_000/100000 = 100 allocs of allowance. +100 passes,
+	// +101 fails.
+	old := bench(entry("dmr", 100, 10_000_000, "", "aa"))
+	r := diff(old, bench(entry("dmr", 100, 10_000_100, "", "aa")), 0.10)
+	if len(r.allocRegressions) != 0 {
+		t.Fatalf("within-allowance jitter flagged: %+v", r.allocRegressions)
+	}
+	r = diff(old, bench(entry("dmr", 100, 10_000_101, "", "aa")), 0.10)
+	if len(r.allocRegressions) != 1 {
+		t.Fatalf("above-allowance increase not flagged: %+v", r.allocRegressions)
 	}
 }
 
@@ -96,5 +114,57 @@ func TestDiffKeySets(t *testing.T) {
 	new = bench(entry("bfs", 100, 50, "", "aa"), entry("bfs", 100, 10, "engine", "aa"))
 	if r := diff(old, new, 0.10); r.compared != 2 {
 		t.Fatalf("modes collapsed: %+v", r)
+	}
+}
+
+// serveEntry is a mode-"serve" measurement of the same cell entry()
+// produces: end-to-end request latency under some client concurrency.
+func serveEntry(app string, wall int64, clients int, fp string) obs.BenchEntry {
+	return obs.BenchEntry{App: app, Variant: "g-d", Sched: "det", Threads: 2,
+		Scale: "small", WallNS: wall, Mode: "serve", Clients: clients, Fingerprint: fp}
+}
+
+func TestDiffCrossModeFingerprintDrift(t *testing.T) {
+	// A serve-mode entry has no exact-key counterpart in a pre-serving
+	// trajectory, but its deterministic fingerprint must match the
+	// in-process measurements of the same cell. Drift is a hard failure.
+	old := bench(entry("bfs", 100, 50, "", "aa"), entry("bfs", 90, 10, "engine", "aa"))
+	r := diff(old, bench(serveEntry("bfs", 5_000_000, 8, "ee")), 0.10)
+	if r.crossChecked != 2 {
+		t.Fatalf("cross-checked %d old entries, want 2", r.crossChecked)
+	}
+	if len(r.behaviorChanges) != 2 {
+		t.Fatalf("cross-mode fingerprint drift not flagged per old mode: %+v", r)
+	}
+}
+
+func TestDiffCrossModeSkipsWallAndAllocs(t *testing.T) {
+	// Matching fingerprint across modes: no failure of any kind, even
+	// though the serve-mode wall (request latency) is 50000x the scheduler
+	// wall and the entry carries no allocation columns.
+	old := bench(entry("bfs", 100, 50, "", "aa"))
+	r := diff(old, bench(serveEntry("bfs", 5_000_000, 8, "aa")), 0.10)
+	if len(r.behaviorChanges) != 0 || len(r.wallRegressions) != 0 || len(r.allocRegressions) != 0 {
+		t.Fatalf("cross-mode comparison flagged perf columns: %+v", r)
+	}
+	if r.crossChecked != 1 || len(r.onlyNew) != 1 {
+		t.Fatalf("cross-check accounting wrong: %+v", r)
+	}
+
+	// Nondet cells carry no cross-mode claim either.
+	o := entry("bfs", 100, 50, "", "aa")
+	o.Variant, o.Sched = "g-n", "nondet"
+	n := serveEntry("bfs", 5_000_000, 8, "zz")
+	n.Variant, n.Sched = "g-n", "nondet"
+	if r := diff(bench(o), bench(n), 0.10); r.crossChecked != 0 || len(r.behaviorChanges) != 0 {
+		t.Fatalf("nondet cross-mode check fired: %+v", r)
+	}
+}
+
+func TestDiffServeClientLevelsAreDistinctKeys(t *testing.T) {
+	old := bench(serveEntry("bfs", 100, 1, "aa"), serveEntry("bfs", 900, 8, "aa"))
+	new := bench(serveEntry("bfs", 100, 1, "aa"), serveEntry("bfs", 900, 8, "aa"))
+	if r := diff(old, new, 0.10); r.compared != 2 || len(r.onlyNew) != 0 {
+		t.Fatalf("client levels collapsed: %+v", r)
 	}
 }

@@ -1,0 +1,90 @@
+// Command galoisd serves the repository's analytics apps as deterministic
+// network jobs. Every response carries a fingerprint receipt; POST /verify
+// re-executes a receipt and reports match/mismatch, so a client can audit
+// any answer it was ever given — including on a different machine or at a
+// different thread count, which is the paper's portability property turned
+// into an API contract.
+//
+//	galoisd -addr :8090
+//	curl -s localhost:8090/jobs -d '{"kind":"bfs","variant":"g-d","scale":"small"}'
+//	curl -s localhost:8090/verify -d "$receipt"
+//
+// Endpoints: POST /jobs, POST /verify, GET /metrics, GET /kinds,
+// GET /healthz. SIGINT/SIGTERM drain in-flight and queued jobs before
+// exiting; new submissions are rejected with 503 while draining.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"galois/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address (use :0 for an ephemeral port)")
+	addrFile := flag.String("addr-file", "", "write the actual listen address to this file once bound (for scripts using :0)")
+	workers := flag.Int("workers", 0, "job-executing workers (default GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "admission queue depth (full queue => 429 + Retry-After)")
+	engineCap := flag.Int("engine-cap", 0, "retained engines per thread-count key (default workers)")
+	maxThreads := flag.Int("max-threads", 8, "clamp on per-job thread requests")
+	timeout := flag.Duration("timeout", 60*time.Second, "default per-job deadline when the spec omits one")
+	drain := flag.Duration("drain", 2*time.Minute, "shutdown grace period for draining admitted jobs")
+	flag.Parse()
+
+	s := serve.NewServer(serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		EngineCap:      *engineCap,
+		MaxThreads:     *maxThreads,
+		DefaultTimeout: *timeout,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "galoisd: %v\n", err)
+		os.Exit(1)
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "galoisd: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "galoisd: listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	//detlint:ignore goroutineorder single HTTP acceptor; lifecycle joined via errc/signal below
+	go func() { errc <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	//detlint:ignore goroutineorder lifecycle select: whichever of signal/serve-error arrives ends the process; no committed output depends on the order
+	select {
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "galoisd: %v — draining\n", got)
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "galoisd: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Drain job queue first (in-flight and queued jobs complete, receipts
+	// delivered, new submissions 503), then stop accepting connections.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "galoisd: drain incomplete: %v\n", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "galoisd: http shutdown: %v\n", err)
+	}
+	fmt.Fprintln(os.Stderr, "galoisd: done")
+}

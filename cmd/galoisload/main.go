@@ -1,0 +1,198 @@
+// Command galoisload drives closed-loop load against a galoisd server and
+// checks the determinism contract while doing so: every deterministic
+// (kind, variant) cell must yield exactly one fingerprint no matter how
+// many concurrent clients are hammering the server, and sampled receipts
+// must re-verify through POST /verify.
+//
+//	galoisload -addr localhost:8090 -clients 1,8 -n 3 -verify 3
+//	galoisload -inprocess -scale small -bench-json BENCH.json
+//
+// Exit status is 1 if any cell observed more than one fingerprint, any
+// receipt failed verification, or any request errored.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"galois/internal/obs"
+	"galois/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "", "galoisd address (host:port or URL); empty requires -inprocess")
+	inprocess := flag.Bool("inprocess", false, "spin up an in-process server instead of targeting -addr")
+	kindsFlag := flag.String("kinds", "", "comma-separated job kinds (default: every kind the server registers)")
+	variantsFlag := flag.String("variants", "g-d,g-dnc", "comma-separated variants")
+	clientsFlag := flag.String("clients", "1,8", "comma-separated client concurrency levels")
+	perClient := flag.Int("n", 3, "jobs per client per level")
+	scale := flag.String("scale", "small", "input scale: small|default|full")
+	seed := flag.Uint64("seed", 42, "input seed")
+	threads := flag.Int("threads", 1, "per-job thread count")
+	timeoutMS := flag.Int64("timeout-ms", 0, "per-job deadline in ms (0 = server default)")
+	verifyN := flag.Int("verify", 0, "re-verify up to N receipts per level through POST /verify")
+	benchPath := flag.String("bench-json", "", "append mode-\"serve\" entries to this benchmark-trajectory JSON")
+	reportPath := flag.String("report", "", "write the full load reports as JSON to this file")
+	flag.Parse()
+
+	ctx := context.Background()
+	var c *serve.Client
+	if *inprocess {
+		s := serve.NewServer(serve.Config{})
+		ts := httptest.NewServer(s.Handler())
+		defer func() {
+			_ = s.Shutdown(ctx)
+			ts.Close()
+		}()
+		c = serve.NewClient(ts.URL, ts.Client())
+	} else {
+		if *addr == "" {
+			fmt.Fprintln(os.Stderr, "galoisload: need -addr or -inprocess")
+			os.Exit(2)
+		}
+		base := *addr
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		c = serve.NewClient(base, nil)
+	}
+
+	kinds := splitCSV(*kindsFlag)
+	if len(kinds) == 0 {
+		var err error
+		if kinds, err = c.Kinds(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "galoisload: listing kinds: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	variants := splitCSV(*variantsFlag)
+	var levels []int
+	for _, s := range splitCSV(*clientsFlag) {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "galoisload: bad -clients entry %q\n", s)
+			os.Exit(2)
+		}
+		levels = append(levels, n)
+	}
+
+	bench := obs.NewBench()
+	if *benchPath != "" {
+		if prev, err := obs.ReadBenchFile(*benchPath); err == nil {
+			bench = prev
+		} else if !os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "galoisload: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	failed := false
+	var reports []*serve.Report
+	for _, clients := range levels {
+		cfg := serve.LoadConfig{
+			Kinds: kinds, Variants: variants,
+			Clients: clients, PerClient: *perClient,
+			Scale: *scale, Seed: *seed, Threads: *threads, TimeoutMS: *timeoutMS,
+		}
+		start := time.Now()
+		rep, err := serve.RunLoad(ctx, c, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "galoisload: %v\n", err)
+			os.Exit(1)
+		}
+		reports = append(reports, rep)
+		fmt.Printf("clients=%-3d requests=%-4d ok=%-4d rejected=%-3d errors=%-3d wall=%v\n",
+			clients, rep.Requests, rep.OK, rep.Rejected, rep.Errors, time.Since(start).Round(time.Millisecond))
+		for _, m := range rep.Mismatches {
+			fmt.Printf("  DETERMINISM VIOLATION %s\n", m)
+			failed = true
+		}
+		if rep.Errors > 0 {
+			for _, e := range rep.ErrorSamples {
+				fmt.Printf("  error: %s\n", e)
+			}
+			failed = true
+		}
+		for _, cs := range rep.Cells {
+			fp := "-"
+			if len(cs.Fingerprints) == 1 {
+				fp = cs.Fingerprints[0]
+			} else if len(cs.Fingerprints) > 1 {
+				fp = fmt.Sprintf("%d distinct!", len(cs.Fingerprints))
+			}
+			fmt.Printf("  %-6s %-5s n=%-3d median=%-10v max=%-10v fp=%s\n",
+				cs.Kind, cs.Variant, cs.Requests,
+				time.Duration(cs.MedianNS).Round(time.Microsecond),
+				time.Duration(cs.MaxNS).Round(time.Microsecond), fp)
+		}
+
+		mismatches, verified := 0, 0
+		for _, r := range rep.Receipts {
+			if verified >= *verifyN {
+				break
+			}
+			if !r.Deterministic {
+				continue
+			}
+			verified++
+			vr, err := c.Verify(ctx, r)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "galoisload: verify %s: %v\n", r.Spec, err)
+				failed = true
+				continue
+			}
+			status := "match"
+			if !vr.Match {
+				status = "MISMATCH"
+				mismatches++
+				failed = true
+			}
+			fmt.Printf("  verify %-28s %s\n", r.Spec, status)
+		}
+		if *verifyN > 0 && mismatches > 0 {
+			fmt.Printf("  %d receipt(s) FAILED verification\n", mismatches)
+		}
+		for _, e := range rep.BenchEntries(cfg) {
+			bench.Add(e)
+		}
+	}
+
+	if *benchPath != "" {
+		if err := bench.WriteFile(*benchPath); err != nil {
+			fmt.Fprintf(os.Stderr, "galoisload: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "galoisload: wrote %s (%d entries)\n", *benchPath, len(bench.Entries))
+	}
+	if *reportPath != "" {
+		data, err := json.MarshalIndent(reports, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*reportPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "galoisload: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "galoisload: wrote %s\n", *reportPath)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -217,8 +217,12 @@ func ForEach[T any](items []T, body func(*Ctx[T], T), opts ...Option) Stats {
 // byte-identical output — and emits the identical event sequence — to a
 // fresh ForEach with the same options, at every thread count.
 //
-// An engine runs one loop at a time (concurrent runs panic) and may be
-// passed to any loop item type. Close releases its worker goroutines.
+// An engine runs one loop at a time and may be passed to any loop item
+// type. A second RunOn/ForEachOn while one is in flight panics immediately
+// (an atomic in-use guard) rather than corrupting retained state — the
+// contract that makes engines safe to check in and out of a pool, as the
+// galoisd serving layer does: hand an idle engine to any job, never share
+// one between concurrent jobs. Close releases its worker goroutines.
 type Engine = core.Engine
 
 // NewEngine returns an engine whose runs default to the configured options.

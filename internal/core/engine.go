@@ -159,7 +159,7 @@ func RunOn[T any](e *Engine, items []T, body func(*Ctx[T], T), opt Options) stat
 		panic("galois: run on a closed Engine")
 	}
 	if !e.running.CompareAndSwap(false, true) {
-		panic("galois: concurrent runs on one Engine")
+		panic("galois: concurrent RunOn calls on one Engine — an Engine runs one loop at a time; give each concurrent job its own Engine (e.g. check one out of a pool)")
 	}
 	defer e.running.Store(false)
 

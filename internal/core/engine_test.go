@@ -225,3 +225,45 @@ func TestEngineMisusePanics(t *testing.T) {
 	}()
 	eng2.running.Store(false)
 }
+
+// TestEngineConcurrentRunPanics drives the guard with a genuinely in-flight
+// run — the first RunOn blocks inside a task body while a second goroutine
+// calls RunOn on the same engine — pinning the contract the serving layer's
+// engine pool relies on: sharing one engine across concurrent jobs fails
+// loudly at the second call, it does not corrupt retained run state.
+func TestEngineConcurrentRunPanics(t *testing.T) {
+	eng := NewEngine(1)
+	defer eng.Close()
+
+	inBody := make(chan struct{})
+	release := make(chan struct{})
+	firstDone := make(chan struct{})
+	second := make(chan any, 1)
+	//detlint:ignore goroutineorder test choreography: channels order body-entry, second call and release explicitly
+	go func() {
+		defer close(firstDone)
+		RunOn(eng, []int{1}, func(*Ctx[int], int) {
+			inBody <- struct{}{}
+			<-release
+		}, optsFor(Deterministic, 1))
+	}()
+	<-inBody // first run is mid-task, engine in use
+	//detlint:ignore goroutineorder test choreography: the recovered panic is the only cross-goroutine result, delivered on a buffered channel
+	go func() {
+		defer func() { second <- recover() }()
+		RunOn(eng, []int{2}, func(*Ctx[int], int) {}, optsFor(Deterministic, 1))
+		second <- nil
+	}()
+	if got := <-second; got == nil {
+		t.Fatal("second RunOn on a busy engine did not panic")
+	}
+	close(release) // let the first run finish cleanly
+	<-firstDone
+
+	// The engine is still usable after the rejected call: the guard
+	// protected the in-flight run rather than poisoning the engine.
+	st := RunOn(eng, []int{1, 2, 3}, func(*Ctx[int], int) {}, optsFor(Deterministic, 1))
+	if st.Commits != 3 {
+		t.Fatalf("engine unusable after guarded rejection: %+v", st)
+	}
+}

@@ -85,6 +85,29 @@ func MeasureAllocs(reps int, fn func()) (allocsPerOp, bytesPerOp uint64) {
 	return (after.Mallocs - before.Mallocs) / n, (after.TotalAlloc - before.TotalAlloc) / n
 }
 
+// measureAllocsMin measures fn as tries independent single runs and returns
+// the per-column minimum. A run's allocation count is a deterministic floor
+// plus occasional non-negative runtime noise — GC-cycle bookkeeping
+// allocations that land inside the ReadMemStats window on runs big enough
+// to trigger collections (dt and dmr allocate millions of objects per run).
+// A mean keeps that noise; the minimum of independent runs converges to the
+// floor, which is what the strict allocs_per_op trajectory gate compares.
+func measureAllocsMin(tries int, fn func()) (allocsPerOp, bytesPerOp uint64) {
+	if tries < 1 {
+		tries = 1
+	}
+	for i := 0; i < tries; i++ {
+		a, by := MeasureAllocs(1, fn)
+		if i == 0 || a < allocsPerOp {
+			allocsPerOp = a
+		}
+		if i == 0 || by < bytesPerOp {
+			bytesPerOp = by
+		}
+	}
+	return allocsPerOp, bytesPerOp
+}
+
 // perRunBuildCost measures the allocations of the input-construction work
 // RunOnce performs inside itself before its timed region (dmr rebuilds its
 // mesh every run, pfp resets its network). Run.Elapsed already excludes
@@ -114,10 +137,12 @@ func (in *Inputs) perRunBuildCost(app string) (allocs, bytes uint64) {
 // invariant. The columns cover the same region WallNS does (per-run input
 // construction excluded); remaining app-side allocations — result arrays,
 // commit closures, dt's output mesh — appear in both modes, so the pair's
-// delta is the scheduler's own allocation cost.
+// delta is the scheduler's own allocation cost. Each cell is the minimum
+// over independent runs (see measureAllocsMin) so the committed columns are
+// the deterministic floor, not floor-plus-GC-jitter.
 func CollectBenchAllocs(in *Inputs, threads int, scale string) *obs.Bench {
 	b := obs.NewBench()
-	const reps = 3
+	const tries = 3
 	savedEngine := in.Engine
 	defer func() { in.Engine = savedEngine }()
 	sub := func(a, b uint64) uint64 {
@@ -136,7 +161,7 @@ func CollectBenchAllocs(in *Inputs, threads int, scale string) *obs.Bench {
 			// Fresh: run state is built and discarded every run.
 			in.Engine = nil
 			in.RunOnce(app, variant, threads, nil) // warm app-side caches
-			allocs, bytes := MeasureAllocs(reps, func() {
+			allocs, bytes := measureAllocsMin(tries, func() {
 				last = in.RunOnce(app, variant, threads, nil)
 			})
 			e := BenchEntry(last, scale)
@@ -147,7 +172,7 @@ func CollectBenchAllocs(in *Inputs, threads int, scale string) *obs.Bench {
 			in.Engine = eng
 			in.RunOnce(app, variant, threads, nil) // warm the engine
 			in.RunOnce(app, variant, threads, nil)
-			allocs, bytes = MeasureAllocs(reps, func() {
+			allocs, bytes = measureAllocsMin(tries, func() {
 				last = in.RunOnce(app, variant, threads, nil)
 			})
 			e = BenchEntry(last, scale)

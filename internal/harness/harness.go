@@ -18,69 +18,26 @@ import (
 	"galois/internal/cachesim"
 	"galois/internal/geom"
 	"galois/internal/graph"
+	"galois/internal/inputs"
 	"galois/internal/para"
 	"galois/internal/stats"
 )
 
-// Scale sizes the benchmark inputs. The paper's inputs (§4.2) are the Full
-// scale; Default is about one-tenth of that so the whole matrix runs in
-// minutes; Small is for tests and smoke runs.
-type Scale struct {
-	Name      string
-	BFSNodes  int
-	BFSDegree int
-	DTPoints  int
-	DMRPoints int
-	PFPNodes  int
-	PFPDegree int
-	// PARSEC-side sizes (Figures 5 and 6).
-	BSOptions   int
-	BSRounds    int
-	BTParticles int
-	BTFrames    int
-	FMTxns      int
-	CavityTasks int
-	Reps        int
-	Seed        uint64
-}
+// Scale sizes the benchmark inputs. The table lives in internal/inputs so
+// the serving layer shares it; see inputs.Scale.
+type Scale = inputs.Scale
 
 // SmallScale is for tests and smoke runs.
-func SmallScale() Scale {
-	return Scale{Name: "small", BFSNodes: 20_000, BFSDegree: 5,
-		DTPoints: 4_000, DMRPoints: 2_000, PFPNodes: 4_000, PFPDegree: 4,
-		BSOptions: 20_000, BSRounds: 2, BTParticles: 500, BTFrames: 10,
-		FMTxns: 3_000, CavityTasks: 500, Reps: 1, Seed: 42}
-}
+func SmallScale() Scale { return inputs.SmallScale() }
 
 // DefaultScale runs the matrix in minutes on a laptop-class machine.
-func DefaultScale() Scale {
-	return Scale{Name: "default", BFSNodes: 1_000_000, BFSDegree: 5,
-		DTPoints: 120_000, DMRPoints: 60_000, PFPNodes: 1 << 17, PFPDegree: 4,
-		BSOptions: 500_000, BSRounds: 5, BTParticles: 4_000, BTFrames: 60,
-		FMTxns: 20_000, CavityTasks: 20_000, Reps: 3, Seed: 42}
-}
+func DefaultScale() Scale { return inputs.DefaultScale() }
 
 // FullScale reproduces the paper's input sizes (§4.2). Budget accordingly.
-func FullScale() Scale {
-	return Scale{Name: "full", BFSNodes: 10_000_000, BFSDegree: 5,
-		DTPoints: 10_000_000, DMRPoints: 2_500_000, PFPNodes: 1 << 23, PFPDegree: 4,
-		BSOptions: 10_000_000, BSRounds: 10, BTParticles: 16_000, BTFrames: 260,
-		FMTxns: 250_000, CavityTasks: 500_000, Reps: 3, Seed: 42}
-}
+func FullScale() Scale { return inputs.FullScale() }
 
 // ScaleByName resolves small/default/full.
-func ScaleByName(name string) (Scale, error) {
-	switch name {
-	case "small":
-		return SmallScale(), nil
-	case "default", "":
-		return DefaultScale(), nil
-	case "full":
-		return FullScale(), nil
-	default:
-		return Scale{}, fmt.Errorf("harness: unknown scale %q (small|default|full)", name)
-	}
-}
+func ScaleByName(name string) (Scale, error) { return inputs.ScaleByName(name) }
 
 // Apps is the irregular-benchmark list in presentation order.
 var Apps = []string{"bfs", "dmr", "dt", "mis", "pfp"}
@@ -114,14 +71,17 @@ type Inputs struct {
 	Engine *galois.Engine
 }
 
-// MakeInputs generates all inputs for sc once.
+// MakeInputs generates all inputs for sc once, through the canonical
+// derivations in internal/inputs — the same ones the job service uses, so
+// harness runs and served jobs of the same (scale, seed) cell are
+// input-identical and their fingerprints directly comparable.
 func MakeInputs(sc Scale) *Inputs {
 	return &Inputs{
 		sc:       sc,
-		bfsGraph: graph.Symmetrize(graph.RandomKOut(sc.BFSNodes, sc.BFSDegree, sc.Seed)),
-		dtPoints: geom.UniformPoints(sc.DTPoints, sc.Seed+1),
+		bfsGraph: inputs.BFSGraph(sc.BFSNodes, sc.BFSDegree, sc.Seed),
+		dtPoints: inputs.DTPoints(sc.DTPoints, sc.Seed),
 		dmrPts:   sc.DMRPoints,
-		pfpNet:   pfp.RandomNetwork(sc.PFPNodes, sc.PFPDegree, 100, sc.Seed+2),
+		pfpNet:   inputs.PFPNetwork(sc.PFPNodes, sc.PFPDegree, sc.Seed),
 		memo:     make(map[string]Run),
 	}
 }

@@ -1,0 +1,43 @@
+package inputs
+
+import (
+	"galois/internal/apps/msf"
+	"galois/internal/apps/pfp"
+	"galois/internal/geom"
+	"galois/internal/graph"
+)
+
+// The builders below are the single source of truth for how a (sizes,
+// seed) pair becomes a concrete input. The seed offsets (+1 for dt, +2 for
+// pfp, and so on) are part of the derivation: every consumer that wants
+// input-identical runs must go through these functions, never re-derive.
+
+// BFSGraph is the bfs/mis input family: a symmetrized random k-out graph.
+func BFSGraph(n, degree int, seed uint64) *graph.CSR {
+	return graph.Symmetrize(graph.RandomKOut(n, degree, seed))
+}
+
+// DTPoints is the Delaunay input family: uniform points seeded at seed+1.
+func DTPoints(n int, seed uint64) []geom.Point {
+	return geom.UniformPoints(n, seed+1)
+}
+
+// PFPNetwork is the preflow-push input family: a random k-out flow network
+// with capacities in [1, 100], seeded at seed+2.
+func PFPNetwork(n, degree int, seed uint64) *pfp.Network {
+	return pfp.RandomNetwork(n, degree, 100, seed+2)
+}
+
+// SSSPGraph is the shortest-paths input family: a weighted random k-out
+// graph with weights in [1, maxW], seeded at seed+3.
+func SSSPGraph(n, degree int, maxW uint32, seed uint64) *graph.Weighted {
+	return graph.RandomWeighted(n, degree, maxW, seed+3)
+}
+
+// MSFEdges is the spanning-forest input family: unique-key weighted edges
+// over a symmetrized random k-out graph, seeded at seed+4. Returns the
+// node count alongside the edges (msf.Galois wants both).
+func MSFEdges(n, degree int, maxW uint32, seed uint64) (int, []msf.WEdge) {
+	g := graph.Symmetrize(graph.RandomKOut(n, degree, seed+4))
+	return g.N(), msf.RandomWeights(g, maxW, seed+4)
+}

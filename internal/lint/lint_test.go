@@ -135,6 +135,30 @@ func TestObsScopeRuleExemption(t *testing.T) {
 	}
 }
 
+// TestServeScopeAllRulesFire proves the servescope fixture seeds real
+// hazards: with no rule exemptions the latency/deadline clock reads and
+// the map-range over the job-results map are all flagged.
+func TestServeScopeAllRulesFire(t *testing.T) { checkFixture(t, "servescope") }
+
+// TestServeScopeRuleExemption is the internal/serve configuration in
+// miniature: `exempt <pkg> wallclock` tolerates the serving layer's
+// latency and deadline clock reads while a response assembled by ranging
+// over a job-results map is still flagged.
+func TestServeScopeRuleExemption(t *testing.T) {
+	pkg := loadFixture(t, "servescope")
+	cfg := &Config{
+		CriticalPrefixes: []string{"*"},
+		RuleExemptions:   map[string][]string{"fixture/servescope": {"wallclock"}},
+	}
+	findings := Run(cfg, []*Package{pkg})
+	if len(findings) != 1 {
+		t.Fatalf("want exactly the maprange finding, got %v", findings)
+	}
+	if findings[0].Rule != "maprange" {
+		t.Fatalf("want maprange, got %s", findings[0])
+	}
+}
+
 func TestMalformedDirectivesAreReported(t *testing.T) {
 	pkg := loadFixture(t, "directive")
 	cfg := &Config{CriticalPrefixes: []string{"*"}}

@@ -1,0 +1,41 @@
+// Package servescope models the internal/serve situation for the
+// rule-scoped exemption tests: a job service measures request latency and
+// enforces deadlines (wall-clock reads by design, never feeding job
+// output) but must still assemble its responses deterministically. Under
+// `exempt <pkg> wallclock` the clock reads below are tolerated while the
+// map-range over the job-results map is still flagged.
+package servescope
+
+import "time"
+
+type jobResult struct {
+	Fingerprint uint64
+	WallNS      int64
+}
+
+// timeJob measures end-to-end latency — observational only.
+func timeJob(run func() uint64) jobResult {
+	start := time.Now() // want wallclock
+	fp := run()
+	return jobResult{Fingerprint: fp, WallNS: time.Since(start).Nanoseconds()} // want wallclock
+}
+
+// expired enforces an admission deadline.
+func expired(deadline time.Time) bool {
+	return time.Now().After(deadline) // want wallclock
+}
+
+// fingerprintsOf collects the distinct fingerprints of a batch — ranging
+// over the results map yields them in nondeterministic order, a hazard no
+// wallclock exemption covers: two identical load runs would report
+// differently ordered (and differently truncated) fingerprint lists.
+func fingerprintsOf(results map[string]jobResult, max int) []uint64 {
+	var fps []uint64
+	for _, r := range results { // want maprange
+		if len(fps) == max {
+			break
+		}
+		fps = append(fps, r.Fingerprint)
+	}
+	return fps
+}

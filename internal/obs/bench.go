@@ -41,17 +41,40 @@ type BenchEntry struct {
 	Fingerprint string `json:"fingerprint"`
 	// Mode distinguishes run-state handling: "" means fresh state per run
 	// (the only mode v1 files have, so keys stay comparable across the
-	// schema bump), "engine" means the run reused a warm engine.
+	// schema bump), "engine" means the run reused a warm engine, and
+	// "serve" means the cell was measured end-to-end through galoisd —
+	// WallNS is then request latency, not scheduler wall time, so wall
+	// comparison across modes is meaningless; the fingerprint contract is
+	// mode-independent.
 	Mode string `json:"mode,omitempty"`
+	// Clients is the closed-loop client concurrency of a Mode "serve"
+	// measurement (0 for in-process modes). Part of the key: the same
+	// cell under different load levels is a different latency
+	// measurement.
+	Clients int `json:"clients,omitempty"`
 	// AllocsPerOp/BytesPerOp are heap allocations and bytes per run
 	// (runtime mallocs, measured around the whole run; 0 = not measured).
 	AllocsPerOp uint64 `json:"allocs_per_op,omitempty"`
 	BytesPerOp  uint64 `json:"bytes_per_op,omitempty"`
 }
 
-// Key identifies an entry for cross-file comparison.
+// Key identifies an entry for cross-file comparison. Entries measured
+// through the serving layer additionally key on client concurrency;
+// in-process entries keep their historical keys.
 func (e BenchEntry) Key() string {
-	return fmt.Sprintf("%s/%s/t%d/%s/%s", e.App, e.Variant, e.Threads, e.Scale, e.Mode)
+	k := fmt.Sprintf("%s/%s/t%d/%s/%s", e.App, e.Variant, e.Threads, e.Scale, e.Mode)
+	if e.Clients > 0 {
+		k += fmt.Sprintf("/c%d", e.Clients)
+	}
+	return k
+}
+
+// ModelessKey identifies the deterministic cell an entry measures,
+// ignoring how it was measured (mode, client load). Deterministic-variant
+// entries sharing a ModelessKey must agree on fingerprint no matter the
+// mode — that is the portability claim the trajectory files police.
+func (e BenchEntry) ModelessKey() string {
+	return fmt.Sprintf("%s/%s/t%d/%s", e.App, e.Variant, e.Threads, e.Scale)
 }
 
 // Bench is a benchmark-trajectory file: one JSON document per PR
@@ -84,7 +107,10 @@ func (b *Bench) Sort() {
 		if a.Scale != c.Scale {
 			return a.Scale < c.Scale
 		}
-		return a.Mode < c.Mode
+		if a.Mode != c.Mode {
+			return a.Mode < c.Mode
+		}
+		return a.Clients < c.Clients
 	})
 }
 

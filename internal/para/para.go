@@ -125,36 +125,61 @@ type Barrier struct {
 	parties int32
 	count   atomic.Int32
 	sense   atomic.Uint32
+	mu      sync.Mutex
+	cond    sync.Cond // by value: no allocation beyond the Barrier itself
 }
 
 // NewBarrier returns a barrier for parties participants.
 func NewBarrier(parties int) *Barrier {
-	return &Barrier{parties: int32(parties)}
+	b := &Barrier{parties: int32(parties)}
+	b.cond.L = &b.mu
+	return b
 }
 
 // Wait blocks until all parties have called Wait for the current phase.
-// The last arriving party releases the others. Spin-then-yield waiting keeps
-// latency low for the short phases of DIG rounds; when there are fewer
-// processors than parties, spinning only steals cycles from the stragglers,
-// so waiters yield immediately.
+// The last arriving party releases the others. Waiting escalates:
+// spin (cheap when all parties have a processor), then yield, then park
+// on a condition variable. The parked fallback matters whenever parties
+// outnumber available processors — a spinning waiter with its own idle P
+// makes Gosched a no-op, so it burns a full OS timeslice before the
+// straggler it is waiting on gets scheduled. Under job-server
+// oversubscription that turns microsecond rounds into millisecond rounds;
+// parking instead frees the processor for whoever has real work.
 func (b *Barrier) Wait() {
 	if b.parties <= 1 {
 		return
-	}
-	spinLimit := 64
-	if runtime.GOMAXPROCS(0) < int(b.parties) {
-		spinLimit = 0
 	}
 	sense := b.sense.Load()
 	if b.count.Add(1) == b.parties {
 		b.count.Store(0)
 		b.sense.Store(sense + 1)
+		// Pairing the store with a lock/unlock of mu guarantees any
+		// party that checked the sense under mu is already in cond.Wait
+		// and will receive the broadcast — no missed wakeups.
+		b.mu.Lock()
+		//lint:ignore SA2001 empty critical section orders sense store before broadcast
+		b.mu.Unlock()
+		b.cond.Broadcast()
 		return
 	}
-	for spins := 0; b.sense.Load() == sense; spins++ {
-		if spins < spinLimit {
-			continue
+	spinLimit := 64
+	if runtime.GOMAXPROCS(0) < int(b.parties) || runtime.NumCPU() < int(b.parties) {
+		spinLimit = 0
+	}
+	for spins := 0; spins < spinLimit; spins++ {
+		if b.sense.Load() != sense {
+			return
+		}
+	}
+	for yields := 0; yields < 4; yields++ {
+		if b.sense.Load() != sense {
+			return
 		}
 		runtime.Gosched()
 	}
+	b.mu.Lock()
+	for b.sense.Load() == sense {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
 }

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestQueueFullRejects: with one worker busy and the queue at capacity,
+// the next submission is rejected with 429 and a Retry-After header —
+// explicit backpressure instead of unbounded buffering.
+func TestQueueFullRejects(t *testing.T) {
+	started := make(chan struct{}, 8)
+	s, c := newTestServer(t, Config{Workers: 1, QueueDepth: 1,
+		Registry: slowRegistry(300*time.Millisecond, started)})
+	ctx := context.Background()
+	spec := Spec{Kind: "slow", Scale: "small"}
+
+	resA := make(chan error, 1)
+	go func() { _, err := c.Submit(ctx, spec); resA <- err }()
+	<-started // A is running
+	resB := make(chan error, 1)
+	go func() { _, err := c.Submit(ctx, spec); resB <- err }()
+	waitFor(t, func() bool { return len(s.queue) == 1 }) // B is queued
+
+	_, err := c.Submit(ctx, spec)
+	ae, ok := err.(*APIError)
+	if !ok || ae.Status != http.StatusTooManyRequests {
+		t.Fatalf("queue-full submission: got %v, want 429", err)
+	}
+	if !ae.IsRetryable() || ae.RetryAfter <= 0 {
+		t.Errorf("429 without usable Retry-After: %+v", ae)
+	}
+	// The admitted jobs are unaffected by the rejection.
+	if err := <-resA; err != nil {
+		t.Errorf("job A: %v", err)
+	}
+	if err := <-resB; err != nil {
+		t.Errorf("job B: %v", err)
+	}
+}
+
+// TestQueuedJobDeadline: a job whose deadline expires while queued is
+// rejected with 504 when a worker reaches it; it never executes.
+func TestQueuedJobDeadline(t *testing.T) {
+	started := make(chan struct{}, 8)
+	s, _ := newTestServer(t, Config{Workers: 1, QueueDepth: 8,
+		Registry: slowRegistry(250*time.Millisecond, started)})
+	ctx := context.Background()
+
+	resA := make(chan error, 1)
+	go func() { _, err := s.Execute(ctx, Spec{Kind: "slow", Scale: "small"}); resA <- err }()
+	<-started // A occupies the only worker for 250ms
+
+	// B can only start after A, 250ms from now, but its budget is 50ms.
+	_, err := s.Execute(ctx, Spec{Kind: "slow", Scale: "small", TimeoutMS: 50})
+	if status(err) != http.StatusGatewayTimeout {
+		t.Fatalf("expired queued job: got %v, want 504", err)
+	}
+	if err := <-resA; err != nil {
+		t.Errorf("job A: %v", err)
+	}
+	// B never ran: only A signalled started.
+	select {
+	case <-started:
+		t.Error("expired job was executed anyway")
+	default:
+	}
+}
+
+// TestRequestContextCancel: an HTTP client that gives up does not cancel
+// the admitted job — the worker completes it and the outcome is delivered
+// to the buffered channel — but the submitter gets an error promptly.
+func TestRequestContextCancel(t *testing.T) {
+	started := make(chan struct{}, 8)
+	s, _ := newTestServer(t, Config{Workers: 1, QueueDepth: 8,
+		Registry: slowRegistry(200*time.Millisecond, started)})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	res := make(chan error, 1)
+	go func() { _, err := s.Execute(ctx, Spec{Kind: "slow", Scale: "small"}); res <- err }()
+	<-started
+	cancel()
+	if err := <-res; status(err) != http.StatusGatewayTimeout {
+		t.Fatalf("canceled submitter: got %v, want 504-style error", err)
+	}
+	// The worker still finishes the job and the server drains cleanly.
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// APIError is a non-2xx server response surfaced to client callers.
+type APIError struct {
+	Status     int
+	Msg        string
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server returned %d: %s", e.Status, e.Msg)
+}
+
+// IsRetryable reports whether the error is a 429 queue-full rejection — the
+// one condition a closed-loop client should back off and retry.
+func (e *APIError) IsRetryable() bool { return e.Status == http.StatusTooManyRequests }
+
+// Client talks to a galoisd server. The zero value is not usable; call
+// NewClient with the server's base URL (e.g. "http://127.0.0.1:8080").
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the server at base. hc may be nil for
+// http.DefaultClient semantics with no overall request timeout (job
+// deadlines are enforced server-side).
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// post sends v as JSON and decodes the 2xx response into out.
+func (c *Client) post(ctx context.Context, path string, v, out any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return apiError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func apiError(resp *http.Response) error {
+	var eb errorBody
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(data, &eb) != nil || eb.Error == "" {
+		eb.Error = strings.TrimSpace(string(data))
+	}
+	ae := &APIError{Status: resp.StatusCode, Msg: eb.Error}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+		ae.RetryAfter = time.Duration(ra) * time.Second
+	}
+	return ae
+}
+
+// Submit runs one job and returns its result.
+func (c *Client) Submit(ctx context.Context, spec Spec) (*JobResult, error) {
+	var res JobResult
+	if err := c.post(ctx, "/jobs", spec, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Verify re-executes a receipt on the server and returns the comparison.
+func (c *Client) Verify(ctx context.Context, rcpt Receipt) (*VerifyResult, error) {
+	var vr VerifyResult
+	if err := c.post(ctx, "/verify", rcpt, &vr); err != nil {
+		return nil, err
+	}
+	return &vr, nil
+}
+
+// Metrics fetches the plain-text metrics dump.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return "", apiError(resp)
+	}
+	data, err := io.ReadAll(resp.Body)
+	return string(data), err
+}
+
+// Kinds lists the job kinds the server accepts.
+func (c *Client) Kinds(ctx context.Context) ([]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/kinds", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, apiError(resp)
+	}
+	var out struct {
+		Kinds []string `json:"kinds"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Kinds, nil
+}

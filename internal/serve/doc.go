@@ -1,0 +1,39 @@
+// Package serve turns the repository's graph-analytics apps into a
+// deterministic network job service — the serving-layer proof of the
+// paper's portability claim (§3): a job submitted to a loaded multi-tenant
+// server returns the same fingerprint as the same job run alone, at any
+// thread count, on any machine.
+//
+// The pieces:
+//
+//   - Job registry (Registry, Kind): maps a job kind plus JSON parameters
+//     (scale, variant, seed, threads) onto a runnable closure over the
+//     existing app entry points. Inputs are derived through
+//     internal/inputs — the same derivations the experiment harness uses —
+//     and cached per (input family, scale, seed).
+//   - Engine pool (EnginePool): checks reusable galois.Engine instances in
+//     and out, keyed by thread count and lazily grown to a cap, so
+//     steady-state request handling rides the engine's allocation-free
+//     path instead of rebuilding run state per request.
+//   - Admission control (Server): a bounded job queue with explicit
+//     rejection (HTTP 429 + Retry-After) when full, per-job deadlines, and
+//     graceful shutdown that completes every admitted job while new
+//     submissions get 503.
+//   - Fingerprint receipts (Receipt): every response carries the result
+//     fingerprint and the exact normalized job spec; POST /verify
+//     re-executes a receipt and reports match/mismatch — determinism as an
+//     API feature, not just a test property.
+//   - Observability: an obs.Registry per server (admission counters, job
+//     latency histogram, per-kind commit/abort totals) exported at
+//     GET /metrics as plain text, plus optional per-job Chrome trace
+//     capture returned inline.
+//
+// Determinism note: the server itself is full of wall-clock reads and
+// scheduling-dependent concurrency — deadlines, Retry-After, worker
+// goroutines racing on a queue. None of it reaches committed job output:
+// every deterministic job's result is a pure function of its normalized
+// spec, which is exactly what the receipts make checkable. detlint keeps
+// the package honest with a rule-scoped exemption (wallclock only); map
+// iteration, global randomness and unannotated fork points are still
+// flagged here like everywhere else.
+package serve

@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"galois/internal/inputs"
+)
+
+// cachedInput is one built input cell. Exclusive inputs (pfp's mutable
+// network) carry a run mutex: the holder has exclusive use of the data for
+// the duration of one job, and Reset restores the initial state before
+// every run, so serialized jobs all observe the same deterministic input.
+type cachedInput struct {
+	build sync.Once
+	data  any
+	err   error
+
+	exclusive bool
+	runMu     sync.Mutex
+}
+
+// inputCache builds inputs on first use and shares them between jobs,
+// keyed by (input family, scale, seed). Construction runs outside the
+// cache lock (inputs can be hundreds of megabytes), guarded per-entry by
+// sync.Once so concurrent first requests build each cell exactly once.
+type inputCache struct {
+	mu sync.Mutex
+	m  map[string]*cachedInput
+}
+
+func newInputCache() *inputCache {
+	return &inputCache{m: make(map[string]*cachedInput)}
+}
+
+// get returns the built input cell for kind at (scale, seed).
+func (c *inputCache) get(kind *Kind, scale string, seed uint64) (*cachedInput, error) {
+	key := fmt.Sprintf("%s/%s/%d", kind.Family, scale, seed)
+	c.mu.Lock()
+	ent := c.m[key]
+	if ent == nil {
+		ent = &cachedInput{exclusive: kind.Exclusive}
+		c.m[key] = ent
+	}
+	c.mu.Unlock()
+	ent.build.Do(func() {
+		sc, err := inputs.ScaleByName(scale)
+		if err != nil {
+			ent.err = err
+			return
+		}
+		ent.data = kind.Build(sc, seed)
+	})
+	return ent, ent.err
+}

@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"galois/internal/obs"
+)
+
+// LoadConfig describes one closed-loop load phase: Clients concurrent
+// clients, each submitting PerClient jobs drawn round-robin from the
+// kinds × variants cell matrix (offset per client, so the server sees a
+// mixed workload at every instant).
+type LoadConfig struct {
+	Kinds    []string
+	Variants []string
+	// Clients is the closed-loop concurrency (default 1); PerClient is
+	// the number of jobs each client submits (default one sweep of the
+	// cell matrix).
+	Clients   int
+	PerClient int
+	Scale     string
+	Seed      uint64
+	Threads   int
+	TimeoutMS int64
+}
+
+// CellStat aggregates one (kind, variant) cell of a load run.
+type CellStat struct {
+	Kind    string `json:"kind"`
+	Variant string `json:"variant"`
+	// Requests counts completed jobs; Fingerprints lists the distinct
+	// fingerprints observed (a deterministic cell must have exactly one).
+	Requests     int      `json:"requests"`
+	Fingerprints []string `json:"fingerprints"`
+	// MedianNS/MaxNS summarize end-to-end request latency.
+	MedianNS int64 `json:"median_ns"`
+	MaxNS    int64 `json:"max_ns"`
+	// Commits/Aborts/Rounds are from the cell's last completed job.
+	Commits uint64 `json:"commits"`
+	Aborts  uint64 `json:"aborts"`
+	Rounds  uint64 `json:"rounds"`
+}
+
+// Deterministic reports whether the cell's variant promises a single
+// fingerprint.
+func (c CellStat) Deterministic() bool { return c.Variant != "g-n" }
+
+// Report is the outcome of one RunLoad phase.
+type Report struct {
+	Clients    int   `json:"clients"`
+	Requests   int   `json:"requests"`
+	OK         int   `json:"ok"`
+	Rejected   int   `json:"rejected"` // 429 retries (closed loop retried them)
+	Errors     int   `json:"errors"`
+	DurationNS int64 `json:"duration_ns"`
+	// Mismatches lists deterministic cells that observed more than one
+	// fingerprint — each is a determinism violation.
+	Mismatches []string   `json:"mismatches"`
+	Cells      []CellStat `json:"cells"`
+	// Receipts holds one receipt per cell (the last completed job), ready
+	// to be replayed through POST /verify.
+	Receipts []Receipt `json:"receipts"`
+	// ErrorSamples holds up to a few error strings for diagnosis.
+	ErrorSamples []string `json:"error_samples,omitempty"`
+}
+
+// cellAcc is one client's private accumulator for one cell; accumulators
+// are merged client-by-client after the join, so aggregation order is a
+// pure function of (client index, cell index), not goroutine scheduling.
+type cellAcc struct {
+	lats     []int64
+	fps      map[string]bool
+	last     *JobResult
+	requests int
+}
+
+// RunLoad drives one closed-loop load phase against the server behind c
+// and aggregates the results. A 429 rejection backs off for the server's
+// Retry-After and retries the same job (counted in Rejected); any other
+// error is terminal for that request.
+func RunLoad(ctx context.Context, c *Client, cfg LoadConfig) (*Report, error) {
+	if len(cfg.Kinds) == 0 || len(cfg.Variants) == 0 {
+		return nil, fmt.Errorf("serve: load config needs at least one kind and one variant")
+	}
+	clients := cfg.Clients
+	if clients < 1 {
+		clients = 1
+	}
+	type cell struct{ kind, variant string }
+	var cells []cell
+	for _, k := range cfg.Kinds {
+		for _, v := range cfg.Variants {
+			cells = append(cells, cell{k, v})
+		}
+	}
+	perClient := cfg.PerClient
+	if perClient < 1 {
+		perClient = len(cells)
+	}
+
+	accs := make([][]cellAcc, clients) // [client][cell]
+	rejects := make([]int, clients)
+	errCounts := make([]int, clients)
+	errSamples := make([][]string, clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	wg.Add(clients)
+	for ci := 0; ci < clients; ci++ {
+		accs[ci] = make([]cellAcc, len(cells))
+		//detlint:ignore goroutineorder load clients: each goroutine writes only its own accumulator row and rows are merged by (client, cell) index after the join
+		go func(ci int) {
+			defer wg.Done()
+			for r := 0; r < perClient; r++ {
+				// Stagger clients by their whole stretch so the union of
+				// client walks covers the cell matrix as evenly as the
+				// request budget allows (offsetting by just ci would leave
+				// the tail of the matrix unvisited when clients*perClient
+				// is small relative to it).
+				idx := (ci*perClient + r) % len(cells)
+				cl := cells[idx]
+				spec := Spec{Kind: cl.kind, Variant: cl.variant, Scale: cfg.Scale,
+					Seed: cfg.Seed, Threads: cfg.Threads, TimeoutMS: cfg.TimeoutMS}
+				acc := &accs[ci][idx]
+				for {
+					t0 := time.Now()
+					res, err := c.Submit(ctx, spec)
+					if err != nil {
+						if ae, ok := err.(*APIError); ok && ae.IsRetryable() && ctx.Err() == nil {
+							rejects[ci]++
+							back := ae.RetryAfter
+							if back <= 0 {
+								back = 50 * time.Millisecond
+							}
+							time.Sleep(back)
+							continue
+						}
+						errCounts[ci]++
+						if len(errSamples[ci]) < 3 {
+							errSamples[ci] = append(errSamples[ci], fmt.Sprintf("%s: %v", spec, err))
+						}
+						break
+					}
+					acc.requests++
+					acc.lats = append(acc.lats, time.Since(t0).Nanoseconds())
+					if acc.fps == nil {
+						acc.fps = make(map[string]bool)
+					}
+					acc.fps[res.Receipt.Fingerprint] = true
+					acc.last = res
+					break
+				}
+				if ctx.Err() != nil {
+					return
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+
+	rep := &Report{Clients: clients, DurationNS: time.Since(start).Nanoseconds()}
+	for ci := 0; ci < clients; ci++ {
+		rep.Rejected += rejects[ci]
+		rep.Errors += errCounts[ci]
+		rep.ErrorSamples = append(rep.ErrorSamples, errSamples[ci]...)
+	}
+	for idx := range cells {
+		cs := CellStat{Kind: cells[idx].kind, Variant: cells[idx].variant}
+		var lats []int64
+		fps := make(map[string]bool)
+		var last *JobResult
+		for ci := 0; ci < clients; ci++ {
+			acc := &accs[ci][idx]
+			cs.Requests += acc.requests
+			lats = append(lats, acc.lats...)
+			for fp := range acc.fps { //detlint:ordered distinct-fingerprint set union; rendered sorted below
+				fps[fp] = true
+			}
+			if acc.last != nil {
+				last = acc.last
+			}
+		}
+		for fp := range fps { //detlint:ordered collected then sorted immediately below
+			cs.Fingerprints = append(cs.Fingerprints, fp)
+		}
+		sort.Strings(cs.Fingerprints)
+		if len(lats) > 0 {
+			sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+			cs.MedianNS = lats[len(lats)/2]
+			cs.MaxNS = lats[len(lats)-1]
+		}
+		if last != nil {
+			cs.Commits, cs.Aborts, cs.Rounds = last.Commits, last.Aborts, last.Rounds
+			rep.Receipts = append(rep.Receipts, last.Receipt)
+		}
+		if cs.Deterministic() && len(cs.Fingerprints) > 1 {
+			rep.Mismatches = append(rep.Mismatches,
+				fmt.Sprintf("%s/%s: %v", cs.Kind, cs.Variant, cs.Fingerprints))
+		}
+		rep.Requests += cs.Requests
+		rep.OK += cs.Requests
+		rep.Cells = append(rep.Cells, cs)
+	}
+	return rep, nil
+}
+
+// BenchEntries converts a load report into benchmark-trajectory entries
+// with Mode "serve": wall_ns is the median end-to-end request latency of
+// the cell under this report's client concurrency, and the fingerprint
+// column carries the same determinism contract as every other mode — a
+// det-cell fingerprint must match the in-process trajectory entries for
+// the same (app, variant, threads, scale).
+func (rep *Report) BenchEntries(cfg LoadConfig) []obs.BenchEntry {
+	var out []obs.BenchEntry
+	for _, cs := range rep.Cells {
+		if cs.Requests == 0 {
+			continue
+		}
+		sched := "det"
+		if cs.Variant == "g-n" {
+			sched = "nondet"
+		}
+		fp := ""
+		if len(cs.Fingerprints) == 1 {
+			fp = cs.Fingerprints[0]
+		}
+		commits, aborts := cs.Commits, cs.Aborts
+		ratio := 0.0
+		if commits+aborts > 0 {
+			ratio = float64(commits) / float64(commits+aborts)
+		}
+		threads := cfg.Threads
+		if threads <= 0 {
+			threads = 1
+		}
+		out = append(out, obs.BenchEntry{
+			App: cs.Kind, Variant: cs.Variant, Sched: sched,
+			Threads: threads, Scale: cfg.Scale,
+			WallNS:  cs.MedianNS,
+			Commits: commits, Aborts: aborts, Rounds: cs.Rounds,
+			CommitRatio: ratio,
+			Fingerprint: fp,
+			Mode:        "serve",
+			Clients:     rep.Clients,
+		})
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"sync"
+
+	"galois"
+	"galois/internal/apps/bfs"
+	"galois/internal/apps/mis"
+	"galois/internal/apps/msf"
+	"galois/internal/apps/pfp"
+	"galois/internal/apps/sssp"
+	"galois/internal/graph"
+	"galois/internal/inputs"
+	"galois/internal/stats"
+)
+
+// Kind is one registered job kind: how to build its input for a (scale,
+// seed) cell and how to run it. Run closures wrap the existing app entry
+// points; the scheduler variant arrives pre-translated in opts, so a Kind
+// is variant-agnostic.
+type Kind struct {
+	// Name is the job kind as it appears in Spec.Kind.
+	Name string
+	// Family keys the input cache. Kinds that operate on the same input
+	// (bfs and mis both run on the k-out graph) share a family so the
+	// server builds the input once.
+	Family string
+	// Exclusive marks inputs that runs mutate in place (pfp's flow
+	// network). The server then serializes jobs on that input and calls
+	// Reset before each run, so every job still starts from the same
+	// deterministic state.
+	Exclusive bool
+	// Build constructs the input for one (scale sizes, seed) cell through
+	// the canonical derivations in internal/inputs.
+	Build func(sc inputs.Scale, seed uint64) any
+	// Reset restores an Exclusive input to its initial state. Nil for
+	// shared read-only inputs.
+	Reset func(data any)
+	// Run executes one job over data with the given scheduler options and
+	// returns the result fingerprint and run statistics.
+	Run func(data any, opts []galois.Option) (uint64, stats.Stats)
+}
+
+// Registry maps job-kind names to their runnable definitions. Lookup is
+// lock-free after construction-time registration; tests may register extra
+// kinds before the server starts serving.
+type Registry struct {
+	mu    sync.RWMutex
+	kinds map[string]*Kind
+	names []string // registration order, for deterministic listings
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{kinds: make(map[string]*Kind)} }
+
+// Register adds k; re-registering a name panics (a config bug, not a
+// runtime condition).
+func (r *Registry) Register(k *Kind) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.kinds[k.Name]; dup {
+		panic("serve: duplicate job kind " + k.Name)
+	}
+	if k.Family == "" {
+		k.Family = k.Name
+	}
+	r.kinds[k.Name] = k
+	r.names = append(r.names, k.Name)
+}
+
+// Lookup returns the kind registered under name, or nil.
+func (r *Registry) Lookup(name string) *Kind {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.kinds[name]
+}
+
+// Names returns the registered kind names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.names...)
+}
+
+// ssspData bundles the weighted graph with the scheduling options derived
+// from its weight range (the OBIM delta heuristic for g-n runs).
+type ssspData struct {
+	g *graph.Weighted
+	o sssp.Options
+}
+
+// msfInput bundles the node count with the weighted edge list.
+type msfInput struct {
+	n     int
+	edges []msf.WEdge
+}
+
+// DefaultRegistry returns the standard job kinds: the paper apps that fit
+// request/response serving (bfs, mis, pfp) plus the Lonestar extensions
+// (sssp, msf). dt and dmr are omitted: their outputs are whole meshes,
+// which belong in a bulk-transfer API, not a receipt.
+func DefaultRegistry() *Registry {
+	r := NewRegistry()
+	r.Register(&Kind{
+		Name:   "bfs",
+		Family: "kout-graph",
+		Build: func(sc inputs.Scale, seed uint64) any {
+			return inputs.BFSGraph(sc.BFSNodes, sc.BFSDegree, seed)
+		},
+		Run: func(data any, opts []galois.Option) (uint64, stats.Stats) {
+			res := bfs.Galois(data.(*graph.CSR), 0, opts...)
+			return res.Fingerprint(), res.Stats
+		},
+	})
+	r.Register(&Kind{
+		Name:   "mis",
+		Family: "kout-graph",
+		Build: func(sc inputs.Scale, seed uint64) any {
+			return inputs.BFSGraph(sc.BFSNodes, sc.BFSDegree, seed)
+		},
+		Run: func(data any, opts []galois.Option) (uint64, stats.Stats) {
+			res := mis.Galois(data.(*graph.CSR), opts...)
+			return res.Fingerprint(), res.Stats
+		},
+	})
+	r.Register(&Kind{
+		Name: "sssp",
+		Build: func(sc inputs.Scale, seed uint64) any {
+			return &ssspData{
+				g: inputs.SSSPGraph(sc.SSSPNodes, sc.SSSPDegree, sc.SSSPMaxW, seed),
+				o: sssp.DefaultOptions(sc.SSSPMaxW),
+			}
+		},
+		Run: func(data any, opts []galois.Option) (uint64, stats.Stats) {
+			d := data.(*ssspData)
+			res := sssp.Galois(d.g, 0, d.o, opts...)
+			return res.Fingerprint(), res.Stats
+		},
+	})
+	r.Register(&Kind{
+		Name: "msf",
+		Build: func(sc inputs.Scale, seed uint64) any {
+			n, edges := inputs.MSFEdges(sc.MSFNodes, sc.MSFDegree, sc.MSFMaxW, seed)
+			return &msfInput{n: n, edges: edges}
+		},
+		Run: func(data any, opts []galois.Option) (uint64, stats.Stats) {
+			d := data.(*msfInput)
+			res := msf.Galois(d.n, d.edges, opts...)
+			return res.Fingerprint(), res.Stats
+		},
+	})
+	r.Register(&Kind{
+		Name:      "pfp",
+		Exclusive: true,
+		Build: func(sc inputs.Scale, seed uint64) any {
+			return inputs.PFPNetwork(sc.PFPNodes, sc.PFPDegree, seed)
+		},
+		Reset: func(data any) { data.(*pfp.Network).Reset() },
+		Run: func(data any, opts []galois.Option) (uint64, stats.Stats) {
+			val, st := pfp.Galois(data.(*pfp.Network), opts...)
+			return uint64(val), st
+		},
+	})
+	return r
+}

@@ -1,0 +1,462 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"galois"
+	"galois/internal/obs"
+	"galois/internal/stats"
+)
+
+// Config sizes a Server. Zero values select the documented defaults.
+type Config struct {
+	// QueueDepth bounds the admission queue; a full queue rejects with
+	// 429 + Retry-After. Default 64.
+	QueueDepth int
+	// Workers is the number of job-executing goroutines. Default
+	// GOMAXPROCS.
+	Workers int
+	// EngineCap is the engine pool's retained-engine cap per thread-count
+	// key. Default Workers (so a steady mixed workload never constructs
+	// engines after warmup).
+	EngineCap int
+	// DefaultThreads is the per-job thread count when the spec omits it.
+	// Default 1.
+	DefaultThreads int
+	// MaxThreads clamps per-job thread requests. Default 8.
+	MaxThreads int
+	// DefaultTimeout bounds queue wait + execution when the spec omits
+	// timeout_ms. Default 60s.
+	DefaultTimeout time.Duration
+	// MaxBody bounds request bodies. Default 1 MiB.
+	MaxBody int64
+	// Registry supplies the job kinds. Default DefaultRegistry().
+	Registry *Registry
+}
+
+func (c *Config) fillDefaults() {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.EngineCap <= 0 {
+		c.EngineCap = c.Workers
+	}
+	if c.DefaultThreads <= 0 {
+		c.DefaultThreads = 1
+	}
+	if c.MaxThreads <= 0 {
+		c.MaxThreads = 8
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 1 << 20
+	}
+	if c.Registry == nil {
+		c.Registry = DefaultRegistry()
+	}
+}
+
+// job is one admitted unit of work.
+type job struct {
+	spec     Spec
+	kind     *Kind
+	deadline time.Time
+	admitted time.Time
+	// done receives the outcome exactly once. Buffered so a worker never
+	// blocks on a submitter that stopped waiting (client disconnect).
+	done chan jobOutcome
+}
+
+type jobOutcome struct {
+	res *JobResult
+	err *httpError
+}
+
+// Server is the deterministic analytics job service. Create with
+// NewServer, expose via Handler, stop with Shutdown.
+type Server struct {
+	cfg    Config
+	reg    *Registry
+	inputs *inputCache
+	pool   *EnginePool
+	mux    *http.ServeMux
+
+	queue   chan *job
+	workers sync.WaitGroup
+
+	// admitMu orders submissions against shutdown: submitters hold the
+	// read side across the draining check and the queue send, Shutdown
+	// holds the write side while flipping draining and closing the queue,
+	// so no send can race the close.
+	admitMu  sync.RWMutex
+	draining bool
+
+	// met collects serving metrics. Cell 0 is the handler side (guarded
+	// by metMu — handlers run on arbitrary goroutines); cells 1..Workers
+	// are single-writer per worker.
+	met   *obs.Registry
+	metMu sync.Mutex
+}
+
+// NewServer builds a server from cfg and starts its workers.
+func NewServer(cfg Config) *Server {
+	cfg.fillDefaults()
+	s := &Server{
+		cfg:    cfg,
+		reg:    cfg.Registry,
+		inputs: newInputCache(),
+		pool:   NewEnginePool(cfg.EngineCap),
+		queue:  make(chan *job, cfg.QueueDepth),
+		met:    obs.NewRegistry(cfg.Workers + 1),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("POST /verify", s.handleVerify)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /kinds", s.handleKinds)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.workers.Add(cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		//detlint:ignore goroutineorder job executors: each job's outcome returns over its own buffered done channel and every deterministic result is a pure function of its spec, so worker scheduling never reaches committed output
+		go s.worker(w)
+	}
+	return s
+}
+
+// Handler returns the server's HTTP interface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the server's metrics registry (counters accumulate for
+// the life of the server).
+func (s *Server) Metrics() *obs.Registry { return s.met }
+
+// PoolCounters snapshots the engine pool's checkout statistics.
+func (s *Server) PoolCounters() PoolCounters { return s.pool.Counters() }
+
+// count bumps a handler-side counter (metric cell 0, mutex-guarded).
+func (s *Server) count(name string) {
+	c := s.met.Counter(name)
+	s.metMu.Lock()
+	c.Add(0, 1)
+	s.metMu.Unlock()
+}
+
+// normalize validates a raw spec against the registry and config and fills
+// defaults, returning the canonical spec a receipt will carry.
+func (s *Server) normalize(spec Spec) (Spec, *Kind, *httpError) {
+	kind := s.reg.Lookup(spec.Kind)
+	if kind == nil {
+		return spec, nil, errf(http.StatusBadRequest, "unknown job kind %q (have %v)", spec.Kind, s.reg.Names())
+	}
+	switch spec.Variant {
+	case "":
+		spec.Variant = "g-d"
+	case "g-n", "g-d", "g-dnc":
+	default:
+		return spec, nil, errf(http.StatusBadRequest, "unknown variant %q (g-n|g-d|g-dnc)", spec.Variant)
+	}
+	if spec.Scale == "" {
+		spec.Scale = "small"
+	}
+	switch spec.Scale {
+	case "small", "default", "full":
+	default:
+		return spec, nil, errf(http.StatusBadRequest, "unknown scale %q (small|default|full)", spec.Scale)
+	}
+	if spec.Threads <= 0 {
+		spec.Threads = s.cfg.DefaultThreads
+	}
+	if spec.Threads > s.cfg.MaxThreads {
+		return spec, nil, errf(http.StatusBadRequest, "threads %d exceeds server limit %d", spec.Threads, s.cfg.MaxThreads)
+	}
+	if spec.TimeoutMS < 0 {
+		return spec, nil, errf(http.StatusBadRequest, "negative timeout_ms")
+	}
+	return spec, kind, nil
+}
+
+// Execute runs one job through admission: it is the common path of
+// POST /jobs and POST /verify, and is also the in-process API the load
+// generator's -inprocess mode and the tests use directly.
+func (s *Server) Execute(ctx context.Context, spec Spec) (*JobResult, error) {
+	res, herr := s.execute(ctx, spec)
+	if herr != nil {
+		return nil, herr
+	}
+	return res, nil
+}
+
+func (s *Server) execute(ctx context.Context, spec Spec) (*JobResult, *httpError) {
+	spec, kind, herr := s.normalize(spec)
+	if herr != nil {
+		return nil, herr
+	}
+	timeout := s.cfg.DefaultTimeout
+	if spec.TimeoutMS > 0 {
+		timeout = time.Duration(spec.TimeoutMS) * time.Millisecond
+	}
+	now := time.Now()
+	j := &job{
+		spec:     spec,
+		kind:     kind,
+		deadline: now.Add(timeout),
+		admitted: now,
+		done:     make(chan jobOutcome, 1),
+	}
+
+	s.admitMu.RLock()
+	if s.draining {
+		s.admitMu.RUnlock()
+		s.count("serve.reject.draining")
+		return nil, errf(http.StatusServiceUnavailable, "server is draining; not accepting jobs")
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.admitMu.RUnlock()
+		s.count("serve.reject.full")
+		return nil, &httpError{status: http.StatusTooManyRequests,
+			msg: "job queue full", retryAfter: 1}
+	}
+	s.admitMu.RUnlock()
+	s.count("serve.admit")
+
+	// The job is admitted: a worker will run it and deliver the outcome on
+	// the buffered done channel whether or not anyone is still listening.
+	//detlint:ignore goroutineorder admission wait: this select only decides whether the HTTP response gets written; the job's committed result is a pure function of its spec and is delivered via the buffered channel regardless
+	select {
+	case out := <-j.done:
+		return out.res, out.err
+	case <-ctx.Done():
+		return nil, errf(http.StatusGatewayTimeout, "request context canceled while job %s in flight: %v", spec, ctx.Err())
+	}
+}
+
+// worker executes admitted jobs until the queue closes on shutdown.
+// Workers drain everything admitted — a queued job is never dropped.
+func (s *Server) worker(wid int) {
+	defer s.workers.Done()
+	for j := range s.queue {
+		j.done <- s.runJob(wid, j)
+	}
+}
+
+// runJob executes one job on a pooled engine and assembles its result.
+func (s *Server) runJob(wid int, j *job) (out jobOutcome) {
+	tid := wid + 1 // metric cell; 0 is the handler side
+	if time.Now().After(j.deadline) {
+		s.met.Counter("serve.timeout").Add(tid, 1)
+		return jobOutcome{err: errf(http.StatusGatewayTimeout,
+			"job %s exceeded its deadline while queued", j.spec)}
+	}
+	ent, err := s.inputs.get(j.kind, j.spec.Scale, j.spec.Seed)
+	if err != nil {
+		return jobOutcome{err: errf(http.StatusBadRequest, "building input: %v", err)}
+	}
+	if ent.exclusive {
+		// Mutable input: this job gets exclusive use, restored to its
+		// initial state first, so serialized jobs see identical inputs.
+		ent.runMu.Lock()
+		defer ent.runMu.Unlock()
+		j.kind.Reset(ent.data)
+	}
+
+	eng, transient := s.pool.Get(j.spec.Threads)
+	defer func() {
+		if r := recover(); r != nil {
+			// The engine's retained state is suspect after a panic; close
+			// it rather than returning it to the pool.
+			s.pool.Discard(j.spec.Threads, eng, transient)
+			s.met.Counter("serve.panic").Add(tid, 1)
+			out = jobOutcome{err: errf(http.StatusInternalServerError, "job %s panicked: %v", j.spec, r)}
+			return
+		}
+		s.pool.Put(j.spec.Threads, eng, transient)
+	}()
+
+	opts := []galois.Option{galois.WithEngine(eng), galois.WithThreads(j.spec.Threads)}
+	switch j.spec.Variant {
+	case "g-d":
+		opts = append(opts, galois.WithSched(galois.Deterministic))
+	case "g-dnc":
+		opts = append(opts, galois.WithSched(galois.Deterministic), galois.WithoutContinuation())
+	}
+	var sink *galois.Trace
+	if j.spec.Trace {
+		sink = galois.NewTrace(j.spec.Threads)
+		opts = append(opts, galois.WithTrace(sink))
+	}
+
+	start := time.Now()
+	fp, st := j.kind.Run(ent.data, opts)
+	wall := time.Since(start)
+
+	s.recordRun(tid, j.spec, st, wall)
+	res := &JobResult{
+		Receipt: Receipt{
+			Spec:          j.spec,
+			Fingerprint:   fmt.Sprintf("%016x", fp),
+			Deterministic: j.spec.Deterministic(),
+		},
+		WallNS:    wall.Nanoseconds(),
+		QueueNS:   start.Sub(j.admitted).Nanoseconds(),
+		Commits:   st.Commits,
+		Aborts:    st.Aborts,
+		Rounds:    st.Rounds,
+		EngineHit: !transient,
+	}
+	if sink != nil {
+		var buf bytes.Buffer
+		if err := sink.WriteChromeTrace(&buf); err == nil {
+			res.Trace = json.RawMessage(buf.Bytes())
+		}
+	}
+	return jobOutcome{res: res}
+}
+
+// recordRun publishes one finished run into the server's metrics.
+func (s *Server) recordRun(tid int, spec Spec, st stats.Stats, wall time.Duration) {
+	s.met.Counter("serve.complete").Add(tid, 1)
+	s.met.Histogram("serve.job.wall_ms", obs.Pow2Bounds(1<<16)).Observe(tid, wall.Milliseconds())
+	prefix := "serve.kind." + spec.Kind
+	s.met.Counter(prefix + ".jobs").Add(tid, 1)
+	s.met.Counter(prefix + ".commits").Add(tid, st.Commits)
+	s.met.Counter(prefix + ".aborts").Add(tid, st.Aborts)
+}
+
+// Shutdown drains the server: new submissions are rejected with 503,
+// queued and in-flight jobs all complete and deliver their receipts, the
+// workers exit, and the engine pool is closed. Returns ctx.Err() if the
+// drain outlives ctx (workers keep draining regardless).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.admitMu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.admitMu.Unlock()
+
+	done := make(chan struct{})
+	//detlint:ignore goroutineorder shutdown join: signals only that all workers exited; no result flows through it
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	//detlint:ignore goroutineorder shutdown wait: chooses between "drained" and "caller gave up"; job results are unaffected
+	select {
+	case <-done:
+		s.pool.Drain()
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	return s.draining
+}
+
+// --- HTTP handlers ---
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, herr *httpError) {
+	if herr.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(herr.retryAfter))
+	}
+	writeJSON(w, herr.status, errorBody{Error: herr.msg})
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, errf(http.StatusBadRequest, "decoding request: %v", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	if !s.decode(w, r, &spec) {
+		return
+	}
+	res, herr := s.execute(r.Context(), spec)
+	if herr != nil {
+		writeError(w, herr)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	var rcpt Receipt
+	if !s.decode(w, r, &rcpt) {
+		return
+	}
+	if rcpt.Fingerprint == "" {
+		writeError(w, errf(http.StatusBadRequest, "receipt has no fingerprint"))
+		return
+	}
+	res, herr := s.execute(r.Context(), rcpt.Spec)
+	if herr != nil {
+		writeError(w, herr)
+		return
+	}
+	vr := VerifyResult{
+		Match:         res.Receipt.Fingerprint == rcpt.Fingerprint,
+		Deterministic: res.Receipt.Deterministic,
+		Expect:        rcpt.Fingerprint,
+		Got:           res.Receipt.Fingerprint,
+		WallNS:        res.WallNS,
+	}
+	s.count("serve.verify")
+	if !vr.Match {
+		s.count("serve.verify.mismatch")
+	}
+	writeJSON(w, http.StatusOK, vr)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	var buf bytes.Buffer
+	_ = s.met.WriteText(&buf)
+	pc := s.pool.Counters()
+	fmt.Fprintf(&buf, "serve.pool.hits %d\n", pc.Hits)
+	fmt.Fprintf(&buf, "serve.pool.misses %d\n", pc.Misses)
+	fmt.Fprintf(&buf, "serve.pool.transients %d\n", pc.Transients)
+	fmt.Fprintf(&buf, "serve.queue.depth %d\n", len(s.queue))
+	fmt.Fprintf(&buf, "serve.queue.cap %d\n", s.cfg.QueueDepth)
+	_, _ = w.Write(buf.Bytes())
+}
+
+func (s *Server) handleKinds(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"kinds": s.reg.Names()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "draining": s.Draining()})
+}

@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Spec is the wire form of one job: what to run and under which scheduler
+// parameters. The zero values of optional fields are filled in by
+// normalize, and the normalized spec — not the raw request — is what a
+// Receipt carries, so re-executing a receipt needs no access to server
+// defaults.
+type Spec struct {
+	// Kind names a registered job kind (bfs, sssp, mis, msf, pfp).
+	Kind string `json:"kind"`
+	// Variant selects the scheduler: g-n (speculative, non-deterministic),
+	// g-d (DIG-scheduled deterministic) or g-dnc (deterministic without
+	// the continuation optimization). Default g-d.
+	Variant string `json:"variant,omitempty"`
+	// Scale names the input size (small | default | full). Default small.
+	Scale string `json:"scale,omitempty"`
+	// Seed seeds the deterministic input derivation. Part of the job
+	// identity: same (kind, scale, seed) means byte-identical input.
+	Seed uint64 `json:"seed"`
+	// Threads is the worker count for the run. Deterministic variants
+	// produce the same fingerprint for every value — the portability
+	// property the service exists to demonstrate.
+	Threads int `json:"threads,omitempty"`
+	// TimeoutMS bounds queue wait + execution; expired jobs are rejected
+	// with 504 before they start. 0 means the server default.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Trace requests a Chrome trace-event capture of the run, returned
+	// inline in the response (not part of the receipt).
+	Trace bool `json:"trace,omitempty"`
+}
+
+// Deterministic reports whether the spec's variant has a reproducible
+// fingerprint.
+func (s Spec) Deterministic() bool { return s.Variant != "g-n" }
+
+// String is the spec's canonical one-line form, used in logs and reports.
+func (s Spec) String() string {
+	return fmt.Sprintf("%s/%s/%s/seed%d/t%d", s.Kind, s.Variant, s.Scale, s.Seed, s.Threads)
+}
+
+// Receipt is the verifiable part of a job response: the normalized spec
+// plus the result fingerprint. POST /verify re-executes the spec and
+// compares fingerprints; for deterministic variants a mismatch means the
+// receipt was tampered with or the serving stack broke determinism.
+type Receipt struct {
+	Spec          Spec   `json:"spec"`
+	Fingerprint   string `json:"fingerprint"` // %016x
+	Deterministic bool   `json:"deterministic"`
+}
+
+// JobResult is the full POST /jobs response: the receipt plus run
+// measurements and the optional trace capture.
+type JobResult struct {
+	Receipt Receipt `json:"receipt"`
+	// WallNS is the execution time of the run itself; QueueNS is the time
+	// the job spent admitted but waiting for a worker.
+	WallNS  int64  `json:"wall_ns"`
+	QueueNS int64  `json:"queue_ns"`
+	Commits uint64 `json:"commits"`
+	Aborts  uint64 `json:"aborts"`
+	Rounds  uint64 `json:"rounds"`
+	// EngineHit reports whether the run reused a pooled engine (the
+	// allocation-free steady-state path) rather than constructing one.
+	EngineHit bool `json:"engine_hit"`
+	// Trace is the Chrome trace-event JSON of the run when Spec.Trace was
+	// set (loadable in Perfetto or chrome://tracing).
+	Trace json.RawMessage `json:"trace,omitempty"`
+}
+
+// VerifyResult is the POST /verify response.
+type VerifyResult struct {
+	Match         bool   `json:"match"`
+	Deterministic bool   `json:"deterministic"`
+	Expect        string `json:"expect"`
+	Got           string `json:"got"`
+	WallNS        int64  `json:"wall_ns"`
+}
+
+// errorBody is the JSON error envelope for non-2xx responses.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// httpError is an error with an HTTP status and optional Retry-After
+// seconds, produced by admission and validation.
+type httpError struct {
+	status     int
+	msg        string
+	retryAfter int
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func errf(status int, format string, args ...any) *httpError {
+	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
+}

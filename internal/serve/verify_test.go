@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"testing"
+)
+
+// TestVerifyRoundTrip: a receipt from a completed deterministic job
+// re-executes to a match; tampering with the fingerprint or the spec is
+// detected.
+func TestVerifyRoundTrip(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 2})
+	ctx := context.Background()
+	res := submitOK(t, c, Spec{Kind: "msf", Variant: "g-d", Scale: "small", Seed: 7, Threads: 2})
+
+	vr, err := c.Verify(ctx, res.Receipt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vr.Match || !vr.Deterministic {
+		t.Fatalf("genuine receipt did not verify: %+v", vr)
+	}
+
+	// Tampered fingerprint: the receipt claims a result the job cannot
+	// produce.
+	forged := res.Receipt
+	forged.Fingerprint = "deadbeefdeadbeef"
+	vr, err = c.Verify(ctx, forged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vr.Match {
+		t.Fatal("tampered fingerprint verified as a match")
+	}
+	if vr.Expect != forged.Fingerprint || vr.Got != res.Receipt.Fingerprint {
+		t.Errorf("mismatch report wrong: %+v", vr)
+	}
+
+	// Tampered spec (different seed => different input => different
+	// fingerprint) must also report a mismatch.
+	reseeded := res.Receipt
+	reseeded.Spec.Seed++
+	vr, err = c.Verify(ctx, reseeded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vr.Match {
+		t.Fatal("receipt with tampered seed verified as a match")
+	}
+
+	// A thread-count change is NOT tampering for a deterministic job:
+	// the fingerprint is thread-invariant, so the receipt still verifies
+	// — the portability property, as an API behavior.
+	rethreaded := res.Receipt
+	rethreaded.Spec.Threads = 4
+	vr, err = c.Verify(ctx, rethreaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vr.Match {
+		t.Fatalf("deterministic receipt failed to verify at a different thread count: %+v", vr)
+	}
+}
+
+// TestVerifyNondetReceipt: g-n receipts are accepted but marked
+// non-deterministic — their fingerprints carry no reproducibility promise.
+func TestVerifyNondetReceipt(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 2})
+	res := submitOK(t, c, Spec{Kind: "mis", Variant: "g-n", Scale: "small", Seed: 42, Threads: 2})
+	if res.Receipt.Deterministic {
+		t.Fatal("g-n receipt marked deterministic")
+	}
+	vr, err := c.Verify(context.Background(), res.Receipt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vr.Deterministic {
+		t.Error("verify of a g-n receipt reported deterministic")
+	}
+}
+
+// TestBadRequests covers spec validation at the HTTP boundary.
+func TestBadRequests(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1, MaxThreads: 4})
+	ctx := context.Background()
+	for _, spec := range []Spec{
+		{Kind: "nope"},
+		{Kind: "bfs", Variant: "g-x"},
+		{Kind: "bfs", Scale: "galactic"},
+		{Kind: "bfs", Threads: 64},
+		{Kind: "bfs", TimeoutMS: -1},
+	} {
+		_, err := c.Submit(ctx, spec)
+		ae, ok := err.(*APIError)
+		if !ok || ae.Status != http.StatusBadRequest {
+			t.Errorf("spec %+v: got %v, want 400", spec, err)
+		}
+	}
+	// Empty-fingerprint receipts are rejected before execution.
+	_, err := c.Verify(ctx, Receipt{Spec: Spec{Kind: "bfs"}})
+	if ae, ok := err.(*APIError); !ok || ae.Status != http.StatusBadRequest {
+		t.Errorf("fingerprint-less receipt: got %v, want 400", err)
+	}
+}

@@ -1,0 +1,49 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke test of the galoisd serving layer.
+#
+# Starts galoisd on an ephemeral port, drives a mixed workload through
+# galoisload (deterministic and non-deterministic variants, two client
+# concurrency levels), re-verifies receipts through POST /verify, and
+# shuts the server down gracefully. Fails on any request error, any
+# deterministic cell with more than one fingerprint, or any receipt that
+# does not re-verify. Writes the load report to serve-load.json (CI
+# uploads it as an artifact).
+#
+# Usage: scripts/serve_smoke.sh [report-path]
+set -eu
+
+report=${1:-serve-load.json}
+tmp=$(mktemp -d)
+trap 'status=$?; [ -n "${server_pid:-}" ] && kill "$server_pid" 2>/dev/null; rm -rf "$tmp"; exit $status' EXIT INT TERM
+
+echo "serve-smoke: building galoisd and galoisload"
+go build -o "$tmp/galoisd" ./cmd/galoisd
+go build -o "$tmp/galoisload" ./cmd/galoisload
+
+"$tmp/galoisd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" &
+server_pid=$!
+
+i=0
+while [ ! -s "$tmp/addr" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "serve-smoke: galoisd did not bind within 10s" >&2
+        exit 1
+    fi
+    kill -0 "$server_pid" 2>/dev/null || { echo "serve-smoke: galoisd exited early" >&2; exit 1; }
+    sleep 0.1
+done
+addr=$(cat "$tmp/addr")
+echo "serve-smoke: galoisd on $addr"
+
+# Mixed workload: every registered kind, det and nondet variants, serial
+# and concurrent clients; three receipts replayed through /verify.
+"$tmp/galoisload" -addr "$addr" \
+    -variants g-n,g-d,g-dnc -clients 1,4 -n 6 \
+    -scale small -threads 2 -verify 3 -report "$report"
+
+echo "serve-smoke: draining galoisd"
+kill -TERM "$server_pid"
+wait "$server_pid"
+server_pid=
+echo "serve-smoke: ok (report in $report)"
