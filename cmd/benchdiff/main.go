@@ -57,7 +57,48 @@ type report struct {
 	onlyOld, onlyNew []string
 	compared         int
 	crossChecked     int
+	sweepChecked     int
 	allocsChecked    bool
+}
+
+// sweepCheck enforces thread-independence inside one trajectory file: all
+// deterministic entries of one (app, variant, scale) cell — across thread
+// counts, modes and client levels — must report the same fingerprint. This
+// is the portability property as a file invariant; it is what makes a
+// committed thread sweep meaningful (a t8 entry whose fingerprint drifted
+// from the t1 entry is a behavior bug, not a scaling data point). Returns
+// the violations and the number of multi-entry cells checked.
+func sweepCheck(b *obs.Bench) ([]change, int) {
+	groups := make(map[string][]obs.BenchEntry)
+	var order []string
+	for _, e := range b.Entries {
+		if e.Sched == "nondet" || e.Fingerprint == "" {
+			continue
+		}
+		k := fmt.Sprintf("%s/%s scale=%s", e.App, e.Variant, e.Scale)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], e)
+	}
+	var out []change
+	checked := 0
+	for _, k := range order {
+		es := groups[k]
+		if len(es) < 2 {
+			continue
+		}
+		checked++
+		ref := es[0]
+		for _, e := range es[1:] {
+			if e.Fingerprint != ref.Fingerprint {
+				out = append(out, change{k,
+					fmt.Sprintf("fingerprint %s (t%d mode %q) != %s (t%d mode %q): det fingerprints are thread- and mode-independent",
+						ref.Fingerprint, ref.Threads, ref.Mode, e.Fingerprint, e.Threads, e.Mode)})
+			}
+		}
+	}
+	return out, checked
 }
 
 // diff compares two trajectories under the given wall-regression
@@ -140,6 +181,12 @@ func diff(old, new *obs.Bench, wallThreshold float64) report {
 	}
 	sort.Strings(r.onlyOld)
 	sort.Strings(r.onlyNew)
+	// In-file consistency of the NEW trajectory: a thread sweep (or any
+	// multi-mode cell) whose det fingerprints disagree is a behavior bug
+	// regardless of what OLD contains.
+	sweep, checked := sweepCheck(new)
+	r.behaviorChanges = append(r.behaviorChanges, sweep...)
+	r.sweepChecked = checked
 	return r
 }
 
@@ -172,8 +219,8 @@ func main() {
 	}
 
 	r := diff(old, new, *wallThreshold)
-	fmt.Printf("benchdiff: %s -> %s: %d entries compared, %d cross-mode fingerprint checks, %d only-old, %d only-new\n",
-		flag.Arg(0), flag.Arg(1), r.compared, r.crossChecked, len(r.onlyOld), len(r.onlyNew))
+	fmt.Printf("benchdiff: %s -> %s: %d entries compared, %d cross-mode fingerprint checks, %d in-file sweep cells checked, %d only-old, %d only-new\n",
+		flag.Arg(0), flag.Arg(1), r.compared, r.crossChecked, r.sweepChecked, len(r.onlyOld), len(r.onlyNew))
 	for _, k := range r.onlyOld {
 		fmt.Printf("removed %s\n", k)
 	}

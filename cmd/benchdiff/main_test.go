@@ -168,3 +168,46 @@ func TestDiffServeClientLevelsAreDistinctKeys(t *testing.T) {
 		t.Fatalf("client levels collapsed: %+v", r)
 	}
 }
+
+// threadEntry is entry with an explicit thread count — the sweep axis.
+func threadEntry(app string, threads int, wall int64, fp string) obs.BenchEntry {
+	e := entry(app, wall, 0, "", fp)
+	e.Threads = threads
+	return e
+}
+
+func TestDiffInFileSweepConsistency(t *testing.T) {
+	old := bench(threadEntry("bfs", 1, 100, "aa"))
+	// A consistent sweep: same fingerprint at every thread count. The
+	// swept keys beyond t1 are new (no old counterpart) but must not fail.
+	consistent := bench(threadEntry("bfs", 1, 100, "aa"), threadEntry("bfs", 2, 60, "aa"),
+		threadEntry("bfs", 4, 40, "aa"), threadEntry("bfs", 8, 35, "aa"))
+	r := diff(old, consistent, 0.10)
+	if len(r.behaviorChanges) != 0 {
+		t.Fatalf("consistent sweep flagged: %+v", r.behaviorChanges)
+	}
+	if r.sweepChecked != 1 {
+		t.Fatalf("sweep cells checked = %d, want 1", r.sweepChecked)
+	}
+
+	// Fingerprint drift at one thread count of the NEW file is a behavior
+	// failure even though that key has no OLD counterpart.
+	drifted := bench(threadEntry("bfs", 1, 100, "aa"), threadEntry("bfs", 2, 60, "aa"),
+		threadEntry("bfs", 4, 40, "XX"), threadEntry("bfs", 8, 35, "aa"))
+	r = diff(old, drifted, 0.10)
+	if len(r.behaviorChanges) != 1 {
+		t.Fatalf("drifted sweep not flagged exactly once: %+v", r.behaviorChanges)
+	}
+}
+
+func TestDiffSweepIgnoresNondet(t *testing.T) {
+	// Nondet fingerprints legitimately differ across thread counts.
+	a := threadEntry("bfs", 1, 100, "aa")
+	b := threadEntry("bfs", 4, 50, "zz")
+	a.Variant, a.Sched = "g-n", "nondet"
+	b.Variant, b.Sched = "g-n", "nondet"
+	r := diff(bench(), bench(a, b), 0.10)
+	if len(r.behaviorChanges) != 0 || r.sweepChecked != 0 {
+		t.Fatalf("nondet sweep checked: %+v", r)
+	}
+}

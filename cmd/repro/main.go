@@ -37,6 +37,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON (Perfetto-loadable) of the traced runs to this file")
 	benchPath := flag.String("bench-json", "", "measure every app x scheduler once and write a benchmark-trajectory JSON to this file")
 	benchAllocs := flag.Bool("bench-allocs", false, "with -bench-json: also measure allocs/bytes per run, in both fresh and engine-reused modes")
+	benchSweep := flag.String("bench-sweep", "", "with -bench-json: comma-separated thread counts; additionally measure the deterministic variants at each count (the scaling axis of the trajectory)")
 	flag.Parse()
 
 	if *fig == "" && *benchPath == "" {
@@ -134,6 +135,29 @@ func main() {
 			b = harness.CollectBenchAllocs(in, maxT, sc.Name)
 		} else {
 			b = harness.CollectBench(in, maxT, sc.Name)
+		}
+		if *benchSweep != "" {
+			var sweep []int
+			for _, part := range strings.Split(*benchSweep, ",") {
+				v, err := strconv.Atoi(strings.TrimSpace(part))
+				if err != nil || v < 1 {
+					fmt.Fprintf(os.Stderr, "repro: bad -bench-sweep thread count %q\n", part)
+					os.Exit(2)
+				}
+				sweep = append(sweep, v)
+			}
+			fmt.Fprintf(os.Stderr, "measuring deterministic thread sweep (threads=%v)...\n", sweep)
+			// Keys already measured above (the t1 deterministic cells when
+			// the sweep includes 1) keep their first measurement.
+			have := make(map[string]bool, len(b.Entries))
+			for _, e := range b.Entries {
+				have[e.Key()] = true
+			}
+			for _, e := range harness.CollectBenchSweep(in, sweep, sc.Name).Entries {
+				if !have[e.Key()] {
+					b.Add(e)
+				}
+			}
 		}
 		if err := b.WriteFile(*benchPath); err != nil {
 			fmt.Fprintln(os.Stderr, "repro:", err)

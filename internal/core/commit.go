@@ -1,23 +1,131 @@
 package core
 
-import "galois/internal/obs"
+import (
+	"math/bits"
 
-// commitCollector owns the serial end-of-round step of the DIG scheduler:
-// it gathers the children of committed tasks, compacts failed tasks in
-// front of the untried remainder (failed tasks keep their priority), and
-// adapts the window. Its produced buffer is engine-retained scratch, so a
-// reused engine gathers children without allocating; the buffer is reset at
-// each generation start and consumed when the next generation is formed.
+	"galois/internal/scan"
+)
+
+// commitCollector owns the end-of-round gather of the DIG scheduler: the
+// children of committed tasks are collected in window order and failed
+// tasks are compacted in front of the untried remainder (failed tasks keep
+// their priority). Two pipelines produce the identical result:
+//
+//   - gather: the serial walk on worker 0 (the differential-testing oracle,
+//     and the cheaper pipeline for small windows);
+//   - scanCounts + place: the PBBS-style deterministic compaction — each
+//     worker records per-chunk counts during the execute phase, an
+//     exclusive scan over the chunk counts (one entry per chunk, not per
+//     task) turns them into output offsets, and all workers then write
+//     failed pointers and children into slots that are pure functions of
+//     each task's window index. Chunk boundaries are pure functions of
+//     (w, chunk), so concatenating chunks in index order reproduces the
+//     serial append/compaction order exactly.
+//
+// All buffers are engine-retained scratch: the produced buffer, the chunk
+// count arrays, the scan's block scratch and the failed-task staging area
+// keep their capacity across rounds and runs, so a reused engine gathers
+// without allocating.
 type commitCollector[T any] struct {
 	produced []child[T]
+
+	// Parallel-gather scratch: per-chunk counts (scanned in place into
+	// exclusive offsets), the scan's block buffers, and the staging area
+	// failed tasks are placed into before the serial copy back into the
+	// pending list (placement cannot write next[w-nf:w] directly while
+	// other placers still read cur, which aliases next[:w]).
+	failCounts  []int64
+	childCounts []int64
+	scanScratch scan.Scratch
+	failScratch []*detTask[T]
 }
 
 // reset prepares the collector for a new generation, keeping capacity.
 func (cc *commitCollector[T]) reset() { cc.produced = cc.produced[:0] }
 
-// gather processes the finished round r: harvests children, compacts the
-// failed tasks, records statistics and trace events, and updates the
-// window policy. It runs serially (worker 0, between barriers).
+// prepareCounts sizes the per-chunk count arrays for a gatherPar round of
+// r.w tasks in chunks of r.chunk. No zeroing: every chunk is claimed by
+// exactly one worker during the execute phase, which overwrites both slots.
+func (cc *commitCollector[T]) prepareCounts(r *roundExecutor[T]) {
+	nchunks := int((int64(r.w) + r.chunk - 1) / r.chunk)
+	if cap(cc.failCounts) < nchunks {
+		n := 1 << bits.Len(uint(nchunks-1))
+		cc.failCounts = make([]int64, n)
+		cc.childCounts = make([]int64, n)
+	}
+	cc.failCounts = cc.failCounts[:nchunks]
+	cc.childCounts = cc.childCounts[:nchunks]
+}
+
+// scanCounts is the serial heart of the parallel gather (a barrier
+// callback, so all execute-phase writes are visible and no worker runs):
+// exclusive scans turn the per-chunk counts into placement offsets, the
+// produced buffer grows to its final size for this round, and the staging
+// area for failed tasks is sized. O(chunks), not O(window).
+func (cc *commitCollector[T]) scanCounts(r *roundExecutor[T]) {
+	nchunks := len(cc.failCounts)
+	nf := scan.ExclusiveSumScratch(cc.failCounts[:nchunks], r.nthreads, &cc.scanScratch)
+	nch := scan.ExclusiveSumScratch(cc.childCounts[:nchunks], r.nthreads, &cc.scanScratch)
+	committed := r.w - int(nf)
+	if committed == 0 {
+		// The max-id task in every round owns all of its marks by
+		// construction (§3.2).
+		panic("galois: deterministic round committed no tasks")
+	}
+	r.nf = int(nf)
+	base := len(cc.produced)
+	r.childBase = base
+	need := base + int(nch)
+	if need > cap(cc.produced) {
+		grown := make([]child[T], need, max(need, 2*cap(cc.produced)))
+		copy(grown, cc.produced)
+		cc.produced = grown
+	} else {
+		cc.produced = cc.produced[:need]
+	}
+	if int(nf) > cap(cc.failScratch) {
+		cc.failScratch = make([]*detTask[T], 1<<bits.Len(uint(nf-1)))
+	}
+}
+
+// place is one worker's share of the parallel gather: claim chunks and
+// write each task's outcome into its deterministic slot — failed tasks into
+// the staging area at the chunk's scanned fail offset, children into the
+// produced buffer at the chunk's scanned child offset. Within a chunk both
+// offsets advance in window-index order, so the global result equals the
+// serial walk's append order; across chunks the exclusive scan guarantees
+// the slots are disjoint.
+func (cc *commitCollector[T]) place(r *roundExecutor[T]) {
+	produced := cc.produced
+	for {
+		start := r.plcCtr.Add(r.chunk) - r.chunk
+		if start >= int64(len(r.cur)) {
+			return
+		}
+		end := min(start+r.chunk, int64(len(r.cur)))
+		c := start / r.chunk
+		fo := cc.failCounts[c]
+		co := int64(r.childBase) + cc.childCounts[c]
+		for _, t := range r.cur[start:end] {
+			if t.failed {
+				cc.failScratch[fo] = t
+				fo++
+				continue
+			}
+			if len(t.children) > 0 {
+				co += int64(copy(produced[co:], t.children))
+			}
+			// Drop the commit closure (it can pin arbitrary user state)
+			// but keep the acquired/children buffers: their capacity is
+			// the engine's per-task scratch, recycled by the next fill.
+			t.commitFn = nil
+		}
+	}
+}
+
+// gather is the serial pipeline (worker 0 or a barrier callback): harvest
+// children, compact failed tasks, and finish the round. It is the
+// differential-testing oracle the parallel pipeline is compared against.
 //
 // The failed compaction is in place: cur and rest are adjacent views of
 // r.next, so moving the nf failed task pointers into next[w-nf:w] makes
@@ -37,9 +145,7 @@ func (cc *commitCollector[T]) gather(r *roundExecutor[T]) {
 		if len(t.children) > 0 {
 			cc.produced = append(cc.produced, t.children...)
 		}
-		// Drop the commit closure (it can pin arbitrary user state) but
-		// keep the acquired/children buffers: their capacity is the
-		// engine's per-task scratch, recycled by the next fill.
+		// See place: same closure-drop, same buffer retention.
 		t.commitFn = nil
 	}
 	if committed == 0 {
@@ -59,28 +165,5 @@ func (cc *commitCollector[T]) gather(r *roundExecutor[T]) {
 			}
 		}
 	}
-	r.col.Round(len(r.cur), committed)
-	emit(r.sink, 0, obs.Event{Kind: obs.KindRoundEnd, Gen: r.genIdx, Round: r.round,
-		Args: [4]int64{int64(len(r.cur)), int64(committed), int64(nf)}})
-	if r.opt.Continuation {
-		// §3.3 continuation aggregates: every task in the round
-		// suspended at its failsafe point during inspect; the committed
-		// ones resumed.
-		emit(r.sink, 0, obs.Event{Kind: obs.KindSuspend, Gen: r.genIdx,
-			Round: r.round, Args: [4]int64{int64(len(r.cur))}})
-		emit(r.sink, 0, obs.Event{Kind: obs.KindResume, Gen: r.genIdx,
-			Round: r.round, Args: [4]int64{int64(committed)}})
-	}
-	if r.met != nil {
-		r.met.tasksPerRound.Observe(0, int64(committed))
-		r.met.abortsPerRound.Observe(0, int64(nf))
-	}
-	dec := r.win.update(len(r.cur), committed)
-	grew := int64(0)
-	if dec.Grew {
-		grew = 1
-	}
-	emit(r.sink, 0, obs.Event{Kind: obs.KindWindow, Gen: r.genIdx, Round: r.round,
-		Args: [4]int64{int64(dec.Before), int64(dec.After), dec.RatioPermille, grew}})
-	r.next = r.next[r.w-nf:]
+	r.finishRound(committed, nf)
 }

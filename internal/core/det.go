@@ -2,7 +2,6 @@ package core
 
 import (
 	"galois/internal/marks"
-	"galois/internal/obs"
 	"galois/internal/stats"
 )
 
@@ -27,11 +26,13 @@ type detTask[T any] struct {
 // the engine's retained state. Tasks execute in generations: the initial
 // tasks form generation zero; tasks created during a generation are
 // collected by the commitCollector, sorted by their deterministic keys, and
-// form the next generation (todo/next in the pseudocode). Within a
-// generation, a roundExecutor drives rounds over an adaptively sized
-// window. All storage — arenas, contexts, children scratch, sort scratch —
-// comes from the engine and is returned to it, so repeated runs on one
-// engine allocate (near) nothing.
+// form the next generation (todo/next in the pseudocode). The whole
+// generation loop — formation, rounds, gather, sort — runs inside one
+// worker region (roundExecutor.workerLoop), so generation boundaries cost a
+// barrier instead of a pool fork/join and the coordination steps run as
+// barrier callbacks. All storage — arenas, contexts, children scratch, sort
+// scratch, the executor itself — comes from the engine and is returned to
+// it, so repeated runs on one engine allocate (near) nothing.
 func runDeterministic[T any](e *Engine, st *engState[T], items []T, body func(*Ctx[T], T), opt Options, col *stats.Collector) {
 	nthreads := opt.Threads
 	met := e.metricsFor(opt.Metrics)
@@ -41,51 +42,30 @@ func runDeterministic[T any](e *Engine, st *engState[T], items []T, body func(*C
 		ctx.prepare(nthreads, true, col, opt, met)
 	}
 
-	gen := generation[T]{arena: st.free.take(len(items))}
-	gen.fill(len(items), func(i int) T { return items[i] })
-	cc := &st.commit
-
-	r := &roundExecutor[T]{
-		opt:      opt,
-		body:     body,
-		ctxs:     st.ctxs,
-		col:      col,
-		met:      met,
-		sink:     opt.Sink,
-		nthreads: nthreads,
-		cc:       cc,
+	r := st.exec
+	if r == nil {
+		r = newRoundExecutor(st)
+		st.exec = r
 	}
-	bar := e.barrier(nthreads)
-
-	for genIdx := int32(0); gen.len() > 0; genIdx++ {
-		cc.reset()
-		r.win = newWindowPolicy(gen.len(), opt)
-		if opt.LocalityInterleave {
-			gen.interleave(r.win.size)
-		}
-		gen.assignIDs()
-		emit(opt.Sink, 0, obs.Event{Kind: obs.KindGenStart, Gen: genIdx,
-			Args: [4]int64{int64(gen.len())}})
-		r.genIdx = genIdx
-		r.next = gen.tasks
-		r.run(e.pool, bar)
-		produced := cc.produced
-		emit(opt.Sink, 0, obs.Event{Kind: obs.KindGenEnd, Gen: genIdx,
-			Args: [4]int64{int64(len(produced))}})
-		if len(produced) == 0 {
-			st.free.put(gen.arena)
-			return
-		}
-		st.sortScratch = sortChildren(produced, opt.PreassignedIDs, opt.Threads, st.sortScratch)
-		emit(opt.Sink, 0, obs.Event{Kind: obs.KindGenSort, Gen: genIdx,
-			Args: [4]int64{int64(len(produced))}})
-		// The parent generation is fully committed; recycle its arena
-		// before taking the next so same-class generations reuse it.
-		st.free.put(gen.arena)
-		gen = generation[T]{arena: st.free.take(len(produced))}
-		gen.fill(len(produced), func(i int) T { return produced[i].item })
-	}
-	st.free.put(gen.arena)
+	r.opt = opt
+	r.body = body
+	r.ctxs = st.ctxs
+	r.col = col
+	r.met = met
+	r.sink = opt.Sink
+	r.nthreads = nthreads
+	r.cc = &st.commit
+	r.bar = e.barrier(nthreads)
+	r.timed = opt.Sink != nil || met != nil
+	r.genIdx = 0
+	r.runDone = false
+	r.gen = generation[T]{arena: st.free.take(len(items))}
+	r.formItems, r.formChildren = items, nil
+	r.formN = len(items)
+	r.beginGeneration()
+	r.runAll(e.pool)
+	st.free.put(r.gen.arena)
+	r.release()
 }
 
 // inspectTask runs one task up to (through) its failsafe point in inspect

@@ -114,11 +114,14 @@ type engState[T any] struct {
 	recs []*marks.Rec
 	// free recycles generation arenas by size class (DIG scheduler).
 	free genFreeList[T]
-	// commit is the end-of-round collector; its produced buffer is the
-	// children gather scratch.
+	// commit is the end-of-round collector; its produced buffer, chunk
+	// count arrays and scan scratch are the gather's retained storage.
 	commit commitCollector[T]
 	// sortScratch is the merge buffer for sorting generations of children.
 	sortScratch []child[T]
+	// exec is the retained DIG executor: its barrier callbacks and worker
+	// closure are built once, so the round hot loop constructs nothing.
+	exec *roundExecutor[T]
 
 	// Retained non-deterministic worklists, with the thread counts they
 	// were built for (worklists size per-thread queues at construction).
@@ -177,6 +180,20 @@ func RunOn[T any](e *Engine, items []T, body func(*Ctx[T], T), opt Options) stat
 		panic(fmt.Sprintf("galois: metrics registry sized for %d threads attached to a %d-thread run",
 			opt.Metrics.Threads(), opt.Threads))
 	}
+	// Workers beyond the runtime's parallelism budget cannot execute in
+	// parallel — they only add barrier traffic and scheduler churn under
+	// oversubscription — and by the portability property the worker count
+	// never reaches committed output or the canonical event sequence (the
+	// DIG schedule is a pure function of task ids; the non-deterministic
+	// scheduler makes no output claim at all). So requested threads above
+	// GOMAXPROCS are capped, "parameterless" style: the knob adapts to the
+	// machine instead of asking the user to. The floor of 2 keeps
+	// cross-worker interleavings real even on single-processor runtimes,
+	// where the differential and race suites still have to exercise the
+	// parallel pipelines.
+	if w := maxUsefulWorkers(); opt.Threads > w {
+		opt.Threads = w
+	}
 	col := e.collector(opt.Threads)
 	if opt.Trace {
 		col.EnableTrace()
@@ -209,6 +226,17 @@ func RunOn[T any](e *Engine, items []T, body func(*Ctx[T], T), opt Options) stat
 		obs.PublishStats(opt.Metrics, snap)
 	}
 	return snap
+}
+
+// maxUsefulWorkers is the largest worker count a run benefits from:
+// GOMAXPROCS, floored at 2 so parallel code paths keep running with real
+// concurrency everywhere (see the cap in RunOn).
+func maxUsefulWorkers() int {
+	w := para.DefaultThreads()
+	if w < 2 {
+		w = 2
+	}
+	return w
 }
 
 // ForEach executes the loop with transient state: on the engine supplied in

@@ -197,6 +197,36 @@ func TestEngineSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestEngineSteadyStateAllocsParallelGather is the same claim for the
+// scan-based parallel gather: a window large enough to trigger the
+// count/scan/place pipeline (w >= parGatherMin) must reuse the collector's
+// chunk-count arrays, scan scratch and staging buffer, not allocate them
+// per round.
+func TestEngineSteadyStateAllocsParallelGather(t *testing.T) {
+	// Disjoint tasks keep every round at the full window (all commit, no
+	// shrinking), so each round of each run exercises the parallel gather.
+	cells := make([]cell, 2048)
+	items := make([]int, len(cells))
+	for i := range items {
+		items[i] = i
+	}
+	opt := optsFor(Deterministic, 2, func(o *Options) { o.WindowInit = 2048 })
+	eng := NewEngine(2)
+	defer eng.Close()
+	opt.Engine = eng
+	run := func() {
+		ForEach(items, func(ctx *Ctx[int], i int) {
+			ctx.Acquire(&cells[i].Lockable)
+		}, opt)
+	}
+	run()
+	run()
+	allocs := testing.AllocsPerRun(10, run)
+	if allocs > 8 {
+		t.Errorf("steady-state allocs/run with parallel gather = %.0f, want <= 8", allocs)
+	}
+}
+
 // TestEngineMisusePanics pins the engine's guard rails: running on a closed
 // engine and starting a second run while one is in flight both panic.
 func TestEngineMisusePanics(t *testing.T) {

@@ -90,26 +90,24 @@ func (g *generation[T]) fill(n int, item func(int) T) {
 func (g *generation[T]) len() int { return len(g.tasks) }
 
 // interleave applies the locality-aware round placement of §3.3 for an
-// initial window w0 (see interleavePermute), permuting into the arena's
-// second pointer slice so repeated runs allocate nothing.
+// initial window w0 (see interleaveSrc), permuting into the arena's second
+// pointer slice so repeated runs allocate nothing. Used by the serial
+// coordinator oracle; the parallel formation pass applies interleaveSrc
+// per output slot instead.
 func (g *generation[T]) interleave(w0 int) {
 	n := len(g.tasks)
-	if n <= 2 || w0 <= 0 || w0 >= n {
-		return
-	}
-	buckets := (n + w0 - 1) / w0
+	buckets := interleaveBuckets(n, w0)
 	if buckets <= 1 {
 		return
 	}
-	dst := g.arena.perm[:0]
-	for b := 0; b < buckets; b++ {
-		for i := b; i < n; i += buckets {
-			dst = append(dst, g.tasks[i])
-		}
+	full := g.arena.perm
+	dst := full[:n]
+	for p := range dst {
+		dst[p] = g.tasks[interleaveSrc(p, n, buckets)]
 	}
 	// Ping-pong the two pointer slices so a later fill reuses both.
 	g.arena.perm = g.arena.order
-	g.arena.order = dst[:cap(dst)]
+	g.arena.order = full
 	g.tasks = dst
 }
 

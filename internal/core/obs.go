@@ -24,6 +24,13 @@ type coreMetrics struct {
 	// failDepth is the neighborhood size already acquired when an Acquire
 	// failed — how deep into its neighborhood a task got before losing.
 	failDepth *obs.Histogram
+	// phaseInspect/phaseExec/phaseCoord are the per-round wall durations
+	// of the three DIG round phases, in nanoseconds. They quantify the
+	// serial coordination fraction the parallel coordinator removes;
+	// purely observational (never read back by the scheduler).
+	phaseInspect *obs.Histogram
+	phaseExec    *obs.Histogram
+	phaseCoord   *obs.Histogram
 }
 
 // newCoreMetrics registers the scheduler instruments in reg, or returns nil
@@ -36,5 +43,8 @@ func newCoreMetrics(reg *obs.Registry) *coreMetrics {
 		tasksPerRound:  reg.Histogram("round.committed", obs.Pow2Bounds(1<<20)),
 		abortsPerRound: reg.Histogram("round.failed", obs.Pow2Bounds(1<<20)),
 		failDepth:      reg.Histogram("acquire.fail_depth", obs.Pow2Bounds(1<<12)),
+		phaseInspect:   reg.Histogram("round.inspect_ns", obs.Pow2Bounds(1<<30)),
+		phaseExec:      reg.Histogram("round.execute_ns", obs.Pow2Bounds(1<<30)),
+		phaseCoord:     reg.Histogram("round.coordinate_ns", obs.Pow2Bounds(1<<30)),
 	}
 }

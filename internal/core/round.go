@@ -8,28 +8,59 @@ import (
 	"galois/internal/stats"
 )
 
-// roundExecutor runs one generation to completion: it owns the round state
-// (the window of tasks under attempt, the pending remainder), the chunked
-// distribution of inspect and execute work across workers, and the phase
-// loop each worker runs between barriers — the inspect / selectAndExec
-// structure of Figure 2. Worker 0 doubles as the round coordinator; the
-// serial gather-and-adapt step between barriers is delegated to the
-// commitCollector.
+// parGatherMin is the smallest window gathered via per-chunk counts and an
+// exclusive scan (commitCollector.scanCounts/place) instead of worker 0's
+// serial walk. Below it the window fits in a few cache lines and the serial
+// walk is cheaper than the extra barrier the parallel placement needs. A
+// policy constant, not a machine parameter: it selects between two
+// pipelines that produce byte-identical output.
+const parGatherMin = 256
+
+// roundExecutor runs the DIG generation/round loop of Figure 2 inside one
+// persistent worker region: generation formation, the chunked inspect and
+// execute phases, and the end-of-round coordination. It is retained by the
+// engine per item type and reset per run, so driving it allocates nothing
+// in the steady state.
 //
-// All non-atomic fields are written only in serial sections (before the
-// workers fork, or inside worker 0's coordinator block between barriers).
+// Coordination is fused into the barriers: the serial end-of-round step
+// (gather or placement bookkeeping, window adaptation, next-round setup)
+// runs as a para.Barrier.WaitDo callback — executed by the last worker to
+// arrive, while every other worker is parked inside the same barrier — so a
+// round costs two barrier crossings instead of the three a dedicated
+// worker-0 coordination block costs. Rounds too small to parallelize run
+// entirely on worker 0 between single barriers (serialRound), and large
+// rounds distribute the gather itself (gatherPar).
+//
+// All non-atomic fields are written only in serial sections: before the
+// workers fork, inside a WaitDo callback, or on worker 0 during a serial
+// round. The callbacks are pure functions of that shared state, so which
+// worker happens to run them cannot reach committed output; their events
+// are emitted under tid 0, whose buffer no other thread touches while the
+// callback holds the barrier.
 type roundExecutor[T any] struct {
+	st   *engState[T]
 	opt  Options
 	body func(*Ctx[T], T)
 	ctxs []*Ctx[T]
 	col  *stats.Collector
 	met  *coreMetrics
 	sink obs.Sink
+	bar  *para.Barrier
 
 	nthreads int
 	genIdx   int32
 	round    int32
-	done     bool
+	done     bool // current generation exhausted
+	runDone  bool // no next generation: workers exit
+
+	// gen is the live generation; formItems/formChildren (exactly one
+	// non-nil) and formN describe the generation about to be formed;
+	// buckets is its locality-interleave bucket count (<= 1: identity).
+	gen          generation[T]
+	formItems    []T
+	formChildren []child[T]
+	formN        int
+	buckets      int
 
 	// next is the generation's pending tasks in deterministic order; cur is
 	// the current round's window prefix (capacity-capped so no append can
@@ -39,17 +70,211 @@ type roundExecutor[T any] struct {
 	cur  []*detTask[T]
 	rest []*detTask[T]
 
-	// insCtr/exeCtr distribute cur in chunks during the parallel phases.
+	// insCtr/exeCtr/plcCtr distribute cur in chunks during the parallel
+	// phases (inspect, execute, placement).
 	insCtr atomic.Int64
 	exeCtr atomic.Int64
+	plcCtr atomic.Int64
 	chunk  int64
+
+	// serialRound: this round runs entirely on worker 0 (w <= nthreads —
+	// fewer tasks than workers, so forking costs more than it buys).
+	// gatherPar: this round's gather runs via per-chunk counts + scan.
+	// Both are pure functions of (w, nthreads, opt), never of the machine,
+	// so the pipeline choice is reproducible.
+	serialRound bool
+	gatherPar   bool
+
+	// Parallel-gather round state, written by the scan callback and read
+	// by all placers: failed-task count and the produced buffer's base
+	// offset for this round's children.
+	nf        int
+	childBase int
 
 	win windowPolicy
 	cc  *commitCollector[T]
+
+	// Phase timing (observational). ts0/ts1/ts2 mark round start, inspect
+	// end, execute end; each is written in a serial section.
+	timed         bool
+	ts0, ts1, ts2 int64
+
+	// Pre-built callbacks for the barrier fusion and the pool, so the hot
+	// loop never constructs a closure (a method value passed to WaitDo
+	// would allocate on every round).
+	workerFn   func(int)
+	startGenFn func()
+	stampFn    func()
+	scanFn     func()
+	coordFn    func()
+}
+
+// newRoundExecutor returns an executor bound to its engine state, with the
+// reusable callbacks built once.
+func newRoundExecutor[T any](st *engState[T]) *roundExecutor[T] {
+	r := &roundExecutor[T]{st: st}
+	r.workerFn = r.workerLoop
+	r.startGenFn = r.startGeneration
+	r.stampFn = func() {
+		if r.timed {
+			r.ts1 = obs.Nanotime()
+		}
+	}
+	r.scanFn = func() {
+		if r.timed {
+			r.ts2 = obs.Nanotime()
+		}
+		r.cc.scanCounts(r)
+	}
+	r.coordFn = r.coordinate
+	return r
+}
+
+// runAll executes the run's whole generation loop on the engine's worker
+// pool: every worker enters workerLoop once and leaves when the last
+// generation produces nothing.
+func (r *roundExecutor[T]) runAll(pool *para.Pool) {
+	pool.Run(r.nthreads, r.workerFn)
+}
+
+// workerLoop is one worker's life for the whole run. The structure mirrors
+// Figure 2 with the serial sections fused into barrier callbacks:
+//
+//	form generation (parallel) ─ barrier[startGeneration]
+//	per round: inspect ─ barrier[stamp] ─ execute ─
+//	           (gatherPar: barrier[scan] ─ place) ─ barrier[coordinate]
+//	serial rounds instead run both phases on worker 0 ─ barrier[coordinate].
+//
+// Shared round state (done, serialRound, cur, counters, ...) is written
+// ONLY inside barrier callbacks; workers read it strictly between barrier
+// crossings. This is what keeps every worker taking the same branches — and
+// therefore the same number of barrier crossings — each round; a write
+// outside a callback (e.g. worker 0 coordinating a serial round in the
+// open) can be observed torn across rounds by a slow worker, desynchronizing
+// the barrier pairing.
+func (r *roundExecutor[T]) workerLoop(tid int) {
+	ctx := r.ctxs[tid]
+	bar := r.bar
+	for {
+		r.formGeneration(tid)
+		bar.WaitDo(r.startGenFn)
+		for !r.done {
+			if r.serialRound {
+				// Worker 0 runs both phases; coordination still happens
+				// inside the barrier callback. It must: coordinate mutates
+				// the shared round state (done, serialRound, cur, ...) that
+				// the other workers read at the top of this loop, and those
+				// reads are only ordered against writes made while they
+				// were parked in the barrier.
+				if tid == 0 {
+					r.serialPhases(ctx)
+				}
+				bar.WaitDo(r.coordFn)
+				continue
+			}
+			r.inspectPhase(ctx, tid)
+			bar.WaitDo(r.stampFn)
+			r.execPhase(ctx, tid)
+			if r.gatherPar {
+				//detlint:ordered the scan callback orders every chunk's counts into exclusive offsets; placement below writes disjoint slots that are pure functions of those offsets and each task's window index
+				bar.WaitDo(r.scanFn)
+				r.cc.place(r)
+			}
+			bar.WaitDo(r.coordFn)
+		}
+		if r.runDone {
+			return
+		}
+	}
+}
+
+// formGeneration is one worker's share of forming the next generation from
+// formItems/formChildren: fill, locality interleave and id assignment fused
+// into one pass over a static block partition. Output slot p is a pure
+// function of p — its source index comes from interleaveSrc, its id is p+1
+// — so the partition cannot perturb the deterministic order (§3.2). Under
+// the serial-coordinator oracle, worker 0 instead runs the historical
+// serial fill/interleave/assignIDs passes.
+func (r *roundExecutor[T]) formGeneration(tid int) {
+	if r.opt.SerialCoordinator {
+		if tid == 0 {
+			r.formSerial()
+		}
+		return
+	}
+	n := r.formN
+	backing := r.gen.arena.tasks[:n]
+	order := r.gen.arena.order[:n]
+	items, children := r.formItems, r.formChildren
+	buckets := r.buckets
+	lo, hi := para.BlockRange(n, r.nthreads, tid)
+	for p := lo; p < hi; p++ {
+		src := p
+		if buckets > 1 {
+			src = interleaveSrc(p, n, buckets)
+		}
+		t := &backing[p]
+		if items != nil {
+			t.item = items[src]
+		} else {
+			t.item = children[src].item
+		}
+		t.acquired = t.acquired[:0]
+		t.children = t.children[:0]
+		t.commitFn = nil
+		t.failed = false
+		t.rec.Reset(uint64(p) + 1)
+		order[p] = t
+	}
+	if tid == 0 {
+		r.gen.tasks = order
+	}
+}
+
+// formSerial is the serial-oracle generation formation: the historical
+// fill + interleave + assignIDs sequence on worker 0.
+func (r *roundExecutor[T]) formSerial() {
+	if r.formItems != nil {
+		items := r.formItems
+		r.gen.fill(r.formN, func(i int) T { return items[i] })
+	} else {
+		children := r.formChildren
+		r.gen.fill(r.formN, func(i int) T { return children[i].item })
+	}
+	if r.opt.LocalityInterleave {
+		r.gen.interleave(r.win.size)
+	}
+	r.gen.assignIDs()
+}
+
+// beginGeneration fixes the forming generation's window policy and
+// interleave shape. Serial (pre-fork or inside endGeneration).
+func (r *roundExecutor[T]) beginGeneration() {
+	r.win = newWindowPolicy(r.formN, r.opt)
+	r.buckets = 1
+	if r.opt.LocalityInterleave && !r.opt.SerialCoordinator {
+		r.buckets = interleaveBuckets(r.formN, r.win.size)
+	}
+}
+
+// startGeneration opens the freshly formed generation: barrier callback
+// after the formation pass. The commit collector is reset here — after
+// formation, because formChildren aliases its produced buffer until every
+// item has been copied out.
+func (r *roundExecutor[T]) startGeneration() {
+	r.cc.reset()
+	r.formItems, r.formChildren = nil, nil
+	emit(r.sink, 0, obs.Event{Kind: obs.KindGenStart, Gen: r.genIdx,
+		Args: [4]int64{int64(r.formN)}})
+	r.next = r.gen.tasks
+	r.round = -1
+	r.done = false
+	r.setupRound()
 }
 
 // setupRound forms the next round from the pending tasks, or marks the
-// generation done. Serial (pre-fork or coordinator).
+// generation done. Serial (a barrier callback, or worker 0 in a serial
+// round).
 func (r *roundExecutor[T]) setupRound() {
 	if len(r.next) == 0 {
 		r.done = true
@@ -71,6 +296,16 @@ func (r *roundExecutor[T]) setupRound() {
 	r.chunk = chunk
 	r.insCtr.Store(0)
 	r.exeCtr.Store(0)
+	r.plcCtr.Store(0)
+	r.serialRound = !r.opt.SerialCoordinator && (r.nthreads == 1 || w <= r.nthreads)
+	r.gatherPar = !r.opt.SerialCoordinator && !r.serialRound &&
+		r.nthreads > 1 && w >= parGatherMin
+	if r.gatherPar {
+		r.cc.prepareCounts(r)
+	}
+	if r.timed {
+		r.ts0 = obs.Nanotime()
+	}
 }
 
 // inspectPhase is one worker's share of Phase 1 (Figure 2 line 14): claim
@@ -90,49 +325,158 @@ func (r *roundExecutor[T]) inspectPhase(ctx *Ctx[T], tid int) {
 }
 
 // execPhase is one worker's share of Phase 2 (Figure 2 line 19): claim
-// chunks and commit or fail each task of the window.
+// chunks and commit or fail each task of the window. Under gatherPar it
+// also records the chunk's failed-task and produced-children counts — the
+// input of the exclusive scan that reproduces the serial gather order. The
+// chunk index is start/chunk (claims advance in chunk-sized steps), so each
+// count slot has exactly one writer.
 func (r *roundExecutor[T]) execPhase(ctx *Ctx[T], tid int) {
+	counting := r.gatherPar
 	for {
 		start := r.exeCtr.Add(r.chunk) - r.chunk
 		if start >= int64(len(r.cur)) {
 			return
 		}
 		end := min(start+r.chunk, int64(len(r.cur)))
+		var nf, nch int64
 		for _, t := range r.cur[start:end] {
 			execTask(ctx, t, r.body, tid, r.opt.Continuation)
+			if t.failed {
+				nf++
+			} else {
+				nch += int64(len(t.children))
+			}
+		}
+		if counting {
+			c := start / r.chunk
+			r.cc.failCounts[c] = nf
+			r.cc.childCounts[c] = nch
 		}
 	}
 }
 
-// run executes the generation on the engine's worker pool and leaves the
-// produced children in the commit collector. Workers are persistent across
-// rounds and synchronize with the engine's barrier, mirroring the barrier
-// structure of Figure 2.
-func (r *roundExecutor[T]) run(pool *para.Pool, bar *para.Barrier) {
-	r.round = -1
-	r.done = false
+// serialPhases executes a sub-parallel round's inspect and execute phases
+// entirely on worker 0, as plain loops (no claim counters). Coordination is
+// NOT part of it — the caller runs coordinate as a barrier callback, the
+// only place shared round state may be written (see workerLoop). The event
+// sequence is identical to the parallel pipelines' by construction — every
+// emission happens in the shared setupRound/finishRound/endGeneration path.
+func (r *roundExecutor[T]) serialPhases(ctx *Ctx[T]) {
+	for _, t := range r.cur {
+		inspectTask(ctx, t, r.body, 0, r.opt.Continuation)
+	}
+	if r.timed {
+		r.ts1 = obs.Nanotime()
+	}
+	for _, t := range r.cur {
+		execTask(ctx, t, r.body, 0, r.opt.Continuation)
+	}
+}
+
+// coordinate is the end-of-round serial section (a barrier callback, or
+// the tail of a serial round on worker 0): complete the gather, adapt the
+// window, set up the next round, and close the generation when the pending
+// list is empty.
+func (r *roundExecutor[T]) coordinate() {
+	if r.gatherPar {
+		// Placement is complete: failed tasks staged in failScratch in
+		// ascending window order, children already at their scanned
+		// offsets. One copy re-forms the failed-first prefix of the
+		// pending list — the same next[w-nf:w] contents the serial
+		// backward compaction produces (gather's in-place scan cannot be
+		// run concurrently with placement because cur aliases next[:w]).
+		copy(r.next[r.w-r.nf:r.w], r.cc.failScratch[:r.nf])
+		r.finishRound(r.w-r.nf, r.nf)
+	} else {
+		if r.timed {
+			r.ts2 = obs.Nanotime()
+		}
+		r.cc.gather(r)
+	}
 	r.setupRound()
 	if r.done {
+		r.endGeneration()
+	}
+}
+
+// finishRound records the completed round: phase durations, statistics,
+// trace events, the window decision, and the pending-list trim. Shared by
+// all three round pipelines so their event sequences cannot diverge.
+func (r *roundExecutor[T]) finishRound(committed, nf int) {
+	if r.timed {
+		ts3 := obs.Nanotime()
+		insNS, exeNS, coNS := r.ts1-r.ts0, r.ts2-r.ts1, ts3-r.ts2
+		emit(r.sink, 0, obs.Event{Kind: obs.KindPhases, Gen: r.genIdx, Round: r.round,
+			Args: [4]int64{insNS, exeNS, coNS}})
+		if r.met != nil {
+			r.met.phaseInspect.Observe(0, insNS)
+			r.met.phaseExec.Observe(0, exeNS)
+			r.met.phaseCoord.Observe(0, coNS)
+		}
+	}
+	r.col.Round(len(r.cur), committed)
+	emit(r.sink, 0, obs.Event{Kind: obs.KindRoundEnd, Gen: r.genIdx, Round: r.round,
+		Args: [4]int64{int64(len(r.cur)), int64(committed), int64(nf)}})
+	if r.opt.Continuation {
+		// §3.3 continuation aggregates: every task in the round
+		// suspended at its failsafe point during inspect; the committed
+		// ones resumed.
+		emit(r.sink, 0, obs.Event{Kind: obs.KindSuspend, Gen: r.genIdx,
+			Round: r.round, Args: [4]int64{int64(len(r.cur))}})
+		emit(r.sink, 0, obs.Event{Kind: obs.KindResume, Gen: r.genIdx,
+			Round: r.round, Args: [4]int64{int64(committed)}})
+	}
+	if r.met != nil {
+		r.met.tasksPerRound.Observe(0, int64(committed))
+		r.met.abortsPerRound.Observe(0, int64(nf))
+	}
+	dec := r.win.update(len(r.cur), committed)
+	grew := int64(0)
+	if dec.Grew {
+		grew = 1
+	}
+	emit(r.sink, 0, obs.Event{Kind: obs.KindWindow, Gen: r.genIdx, Round: r.round,
+		Args: [4]int64{int64(dec.Before), int64(dec.After), dec.RatioPermille, grew}})
+	r.next = r.next[r.w-nf:]
+}
+
+// endGeneration closes the exhausted generation: sort the produced
+// children, recycle the arena, and stage the next generation's formation —
+// or mark the run done. Runs in the last round's coordination (all other
+// workers parked), so the sort's internal fork-join is safe here.
+func (r *roundExecutor[T]) endGeneration() {
+	st := r.st
+	produced := r.cc.produced
+	emit(r.sink, 0, obs.Event{Kind: obs.KindGenEnd, Gen: r.genIdx,
+		Args: [4]int64{int64(len(produced))}})
+	if len(produced) == 0 {
+		r.runDone = true
 		return
 	}
-	pool.Run(r.nthreads, func(tid int) {
-		ctx := r.ctxs[tid]
-		for {
-			if r.done {
-				return
-			}
-			r.inspectPhase(ctx, tid)
-			bar.Wait()
-			r.execPhase(ctx, tid)
-			bar.Wait()
-			// Coordination: gather results, adapt the window, form the
-			// next round (Figure 2 lines 9-12). Worker 0 runs this
-			// serially between barriers.
-			if tid == 0 {
-				r.cc.gather(r)
-				r.setupRound()
-			}
-			bar.Wait()
-		}
-	})
+	st.sortScratch = sortChildren(produced, r.opt.PreassignedIDs, r.nthreads, st.sortScratch)
+	emit(r.sink, 0, obs.Event{Kind: obs.KindGenSort, Gen: r.genIdx,
+		Args: [4]int64{int64(len(produced))}})
+	// The parent generation is fully committed; recycle its arena before
+	// taking the next so same-class generations reuse it.
+	st.free.put(r.gen.arena)
+	r.gen = generation[T]{arena: st.free.take(len(produced))}
+	r.genIdx++
+	r.formItems, r.formChildren = nil, produced
+	r.formN = len(produced)
+	r.beginGeneration()
+}
+
+// release drops the run-scoped references so a retained executor does not
+// pin the finished run's items, body, sink or arena.
+func (r *roundExecutor[T]) release() {
+	r.opt = Options{}
+	r.body = nil
+	r.ctxs = nil
+	r.col = nil
+	r.met = nil
+	r.sink = nil
+	r.bar = nil
+	r.gen = generation[T]{}
+	r.formItems, r.formChildren = nil, nil
+	r.next, r.cur, r.rest = nil, nil, nil
 }

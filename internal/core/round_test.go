@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"galois/internal/obs"
+	"galois/internal/rng"
+)
+
+// tracedOrderSensitive runs an order-sensitive conflict workload (with
+// dynamically created children) under the given options with a trace
+// attached, returning the cell fingerprint and the canonical event lines.
+// The workload covers every round pipeline when driven with a large
+// initial window: early rounds exceed parGatherMin (scan-based gather),
+// conflict-driven shrinking passes through the classic chunked pipeline,
+// and generation tails drop under the thread count (serial fast path).
+func tracedOrderSensitive(t *testing.T, ntasks int, opt Options) (uint64, []string) {
+	t.Helper()
+	const ncells = 48
+	cells := make([]*cell, ncells)
+	for i := range cells {
+		cells[i] = &cell{}
+	}
+	r := rng.New(42)
+	type task struct {
+		id    uint64
+		a, b  int
+		depth int
+	}
+	items := make([]task, ntasks)
+	for i := range items {
+		items[i] = task{id: uint64(i + 1), a: r.Intn(ncells), b: r.Intn(ncells)}
+	}
+	tr := obs.NewTrace(opt.Threads)
+	opt.Sink = tr
+	st := ForEach(items, func(ctx *Ctx[task], tk task) {
+		ca, cb := cells[tk.a], cells[tk.b]
+		ctx.Acquire(&ca.Lockable)
+		ctx.Acquire(&cb.Lockable)
+		if tk.depth < 1 && tk.id%5 == 0 {
+			ctx.Push(task{id: tk.id * 31, a: tk.b, b: tk.a, depth: tk.depth + 1})
+		}
+		ctx.OnCommit(func(*Ctx[task]) {
+			ca.value = ca.value*31 + tk.id
+			cb.value = cb.value*37 + tk.id
+		})
+	}, opt)
+	want := uint64(ntasks + ntasks/5)
+	if st.Commits != want {
+		t.Fatalf("commits = %d, want %d", st.Commits, want)
+	}
+	return fingerprintCells(cells), tr.CanonicalLines()
+}
+
+// TestParallelCoordinatorMatchesSerialOracle is the differential claim of
+// the parallel round coordination: for every pipeline mix — windows large
+// enough for the scan-based gather, classic chunked rounds, and serial
+// fast-path rounds — the parallel coordinator commits a byte-identical
+// fingerprint AND an identical canonical event sequence to the retired
+// serial worker-0 coordinator, across thread counts and with and without
+// the continuation optimization.
+func TestParallelCoordinatorMatchesSerialOracle(t *testing.T) {
+	const ntasks = 3000
+	for _, winInit := range []int{0, 4096} {
+		for _, cont := range []bool{true, false} {
+			// The oracle's output is thread-invariant (portability), so one
+			// serial-coordinator reference per configuration suffices.
+			refOpt := optsFor(Deterministic, 2, func(o *Options) {
+				o.Continuation = cont
+				o.WindowInit = winInit
+				o.SerialCoordinator = true
+			})
+			refFP, refEvents := tracedOrderSensitive(t, ntasks, refOpt)
+			for _, threads := range []int{1, 2, 4, 8} {
+				t.Run(fmt.Sprintf("win=%d/cont=%v/t%d", winInit, cont, threads), func(t *testing.T) {
+					opt := optsFor(Deterministic, threads, func(o *Options) {
+						o.Continuation = cont
+						o.WindowInit = winInit
+					})
+					fp, events := tracedOrderSensitive(t, ntasks, opt)
+					if fp != refFP {
+						t.Fatalf("fingerprint %#x, serial oracle %#x", fp, refFP)
+					}
+					if len(events) != len(refEvents) {
+						t.Fatalf("%d events, serial oracle %d", len(events), len(refEvents))
+					}
+					for i := range events {
+						if events[i] != refEvents[i] {
+							t.Fatalf("event %d = %q, serial oracle %q", i, events[i], refEvents[i])
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSerialFastPathPinnedEvents pins the exact canonical event sequence of
+// a run whose only round is sub-parallel (w <= nthreads, the serial fast
+// path), and checks the sequence is identical across thread counts and
+// under the serial-coordinator oracle — the fast path may skip the claim
+// counters and the scan, but not a single structural event.
+func TestSerialFastPathPinnedEvents(t *testing.T) {
+	want := []string{
+		"run-start sched=1 items=2",
+		"gen-start gen=0 round=0 args=2,0,0,0",
+		"round-start gen=0 round=0 args=2,0,0,0",
+		"phases gen=0 round=0",
+		"round-end gen=0 round=0 args=2,2,0,0",
+		"suspend gen=0 round=0 args=2,0,0,0",
+		"resume gen=0 round=0 args=2,0,0,0",
+		"window gen=0 round=0 args=16,32,1000,1",
+		"gen-end gen=0 round=0 args=0,0,0,0",
+		"run-end gen=0 round=0 args=2,0,1,0",
+	}
+	var c1, c2 cell
+	for _, threads := range []int{1, 2, 4, 8} {
+		for _, serialCoord := range []bool{false, true} {
+			t.Run(fmt.Sprintf("t%d/oracle=%v", threads, serialCoord), func(t *testing.T) {
+				tr := obs.NewTrace(threads)
+				ForEach([]int{0, 1}, func(ctx *Ctx[int], i int) {
+					c := &c1
+					if i == 1 {
+						c = &c2
+					}
+					ctx.Acquire(&c.Lockable)
+					ctx.OnCommit(func(*Ctx[int]) { c.value++ })
+				}, optsFor(Deterministic, threads, func(o *Options) {
+					o.Sink = tr
+					o.SerialCoordinator = serialCoord
+				}))
+				got := tr.CanonicalLines()
+				if len(got) != len(want) {
+					t.Fatalf("event lines = %q, want %q", got, want)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("event %d = %q, want %q", i, got[i], want[i])
+					}
+				}
+			})
+		}
+	}
+}

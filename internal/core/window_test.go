@@ -122,6 +122,33 @@ func TestInterleavePermuteIsPermutation(t *testing.T) {
 	}
 }
 
+// TestInterleaveSrcMatchesAppendReference checks the analytic inverse
+// against the obvious bucket construction: deal sources round-robin into
+// ceil(n/w0) buckets and concatenate. interleaveSrc must reproduce that
+// concatenation slot for slot — it is the single definition both the
+// parallel generation formation and the serial oracle derive from.
+func TestInterleaveSrcMatchesAppendReference(t *testing.T) {
+	for _, n := range []int{3, 4, 5, 17, 64, 100, 1000, 1023} {
+		for _, w0 := range []int{1, 2, 3, 4, 16, 63, 99, 999} {
+			buckets := interleaveBuckets(n, w0)
+			if buckets <= 1 {
+				continue
+			}
+			ref := make([]int, 0, n)
+			for b := 0; b < buckets; b++ {
+				for src := b; src < n; src += buckets {
+					ref = append(ref, src)
+				}
+			}
+			for p := 0; p < n; p++ {
+				if got := interleaveSrc(p, n, buckets); got != ref[p] {
+					t.Fatalf("n=%d w0=%d p=%d: src %d, reference %d", n, w0, p, got, ref[p])
+				}
+			}
+		}
+	}
+}
+
 func TestInterleavePermuteSpreadsNeighbors(t *testing.T) {
 	// Originally adjacent items must land in different w0-sized windows.
 	n, w0 := 1024, 64

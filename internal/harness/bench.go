@@ -67,6 +67,25 @@ func CollectBench(in *Inputs, threads int, scale string) *obs.Bench {
 	return b
 }
 
+// CollectBenchSweep measures the deterministic variants (g-d, g-dnc) of
+// every app once per requested thread count and returns the trajectory
+// entries. The sweep is the scaling axis of the benchmark trajectory:
+// wall time may move with threads, but every deterministic fingerprint in
+// the sweep must be identical across thread counts (the portability
+// property) — benchdiff enforces that in-file, so a committed sweep pins
+// thread-independence for the exact revision it measures.
+func CollectBenchSweep(in *Inputs, threads []int, scale string) *obs.Bench {
+	b := obs.NewBench()
+	for _, app := range Apps {
+		for _, variant := range []string{"g-d", "g-dnc"} {
+			for _, th := range threads {
+				b.Add(BenchEntry(in.RunOnce(app, variant, th, nil), scale))
+			}
+		}
+	}
+	return b
+}
+
 // MeasureAllocs runs fn reps times and returns its mean per-run heap
 // allocation profile, from runtime.ReadMemStats deltas. Mallocs and
 // TotalAlloc are cumulative and GC-independent, so the measurement needs no

@@ -106,9 +106,22 @@ func TestTraceEventSequenceThreadInvariant(t *testing.T) {
 			for _, th := range []int{1, 2, 4, 8} {
 				tr := galois.NewTrace(th)
 				in.TraceSink = tr
-				in.RunOnce(app, variant, th, nil)
+				r := in.RunOnce(app, variant, th, nil)
 				in.TraceSink = nil
 				got := tr.CanonicalLines()
+				// Every round reports its phase durations: exactly one
+				// phases event per round, in canonical (duration-stripped)
+				// form so the sequence stays thread-invariant.
+				phases := 0
+				for _, line := range got {
+					if strings.HasPrefix(line, "phases ") {
+						phases++
+					}
+				}
+				if phases != int(r.Stats.Rounds) {
+					t.Errorf("%s/%s t%d: %d phases events for %d rounds",
+						app, variant, th, phases, r.Stats.Rounds)
+				}
 				if want == nil {
 					want = got
 					if len(want) == 0 {
@@ -124,6 +137,51 @@ func TestTraceEventSequenceThreadInvariant(t *testing.T) {
 					if got[i] != want[i] {
 						t.Errorf("%s/%s: event %d at %d threads = %q, want %q",
 							app, variant, i, th, got[i], want[i])
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelCoordinationMatchesSerialOracle is the differential claim of
+// the parallel round coordination at application level: for every app,
+// deterministic variant and thread count, the default coordinator (parallel
+// generation formation, barrier-fused coordination, scan-based gather on
+// large windows) commits a byte-identical fingerprint AND an identical
+// canonical event sequence to the retired serial worker-0 coordinator.
+func TestParallelCoordinationMatchesSerialOracle(t *testing.T) {
+	in := smallInputs()
+	oracle := smallInputs()
+	oracle.SerialCoordinator = true
+	for _, app := range Apps {
+		for _, variant := range []string{"g-d", "g-dnc"} {
+			for _, th := range []int{1, 2, 4, 8} {
+				tr := galois.NewTrace(th)
+				in.TraceSink = tr
+				got := in.RunOnce(app, variant, th, nil)
+				in.TraceSink = nil
+
+				otr := galois.NewTrace(th)
+				oracle.TraceSink = otr
+				want := oracle.RunOnce(app, variant, th, nil)
+				oracle.TraceSink = nil
+
+				if got.Fingerprint != want.Fingerprint {
+					t.Errorf("%s/%s t%d: fingerprint %#x, serial oracle %#x",
+						app, variant, th, got.Fingerprint, want.Fingerprint)
+					continue
+				}
+				gl, wl := tr.CanonicalLines(), otr.CanonicalLines()
+				if len(gl) != len(wl) {
+					t.Errorf("%s/%s t%d: %d events, serial oracle %d", app, variant, th, len(gl), len(wl))
+					continue
+				}
+				for i := range gl {
+					if gl[i] != wl[i] {
+						t.Errorf("%s/%s t%d: event %d = %q, serial oracle %q",
+							app, variant, th, i, gl[i], wl[i])
 						break
 					}
 				}

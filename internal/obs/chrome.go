@@ -81,6 +81,17 @@ func (t *Trace) WriteChromeTrace(w io.Writer) error {
 				TS: us(roundStart.ts), Dur: us(ev.TS - roundStart.ts), PID: pid, TID: 0,
 				Args: map[string]any{"window": roundWindow, "selected": ev.Args[0],
 					"committed": ev.Args[1], "failed": ev.Args[2]}})
+		case KindPhases:
+			// Three phase slices nested under the round slice, laid out
+			// end to end from the round start using the measured
+			// durations.
+			ts := roundStart.ts
+			for i, name := range [...]string{"inspect", "execute", "coordinate"} {
+				out = append(out, chromeEvent{Name: name, Ph: "X",
+					TS: us(ts), Dur: us(ev.Args[i]), PID: pid, TID: 0,
+					Args: map[string]any{"ns": ev.Args[i]}})
+				ts += ev.Args[i]
+			}
 		case KindWindow:
 			out = append(out,
 				chromeEvent{Name: "window", Ph: "C", TS: us(ev.TS), PID: pid,

@@ -1,0 +1,15 @@
+package obs
+
+import "time"
+
+// clockEpoch anchors Nanotime; only differences of Nanotime values are
+// meaningful.
+var clockEpoch = time.Now()
+
+// Nanotime returns a monotonic nanosecond timestamp for duration
+// measurement. Wall-clock reads are confined to internal/obs (detlint's
+// wallclock rule, see detlint.conf): schedulers may consume time only as
+// observational data — never as an input to a scheduling decision — and
+// keeping the clock behind this helper keeps that rule mechanically
+// checkable in the packages that matter.
+func Nanotime() int64 { return int64(time.Since(clockEpoch)) }

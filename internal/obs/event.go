@@ -36,6 +36,12 @@ const (
 	// KindWorker is a non-deterministic worker's exit summary.
 	// Args: commits, aborts.
 	KindWorker
+	// KindPhases records the measured wall durations of one DIG round's
+	// three phases. Args: inspect ns, execute ns, coordinate ns. The
+	// durations are observational, like TS: they are excluded from
+	// Canonical(), so the canonical sequence stays machine- and
+	// thread-count-invariant.
+	KindPhases
 
 	numKinds
 )
@@ -44,7 +50,7 @@ var kindNames = [numKinds]string{
 	"run-start", "run-end",
 	"gen-start", "gen-end", "gen-sort",
 	"round-start", "round-end", "window",
-	"suspend", "resume", "worker",
+	"suspend", "resume", "worker", "phases",
 }
 
 // String implements fmt.Stringer.
@@ -85,6 +91,10 @@ func (e Event) Canonical() string {
 		// Worker summaries only occur under the non-deterministic
 		// scheduler, where no invariance is claimed.
 		return fmt.Sprintf("worker commits=%d aborts=%d", e.Args[0], e.Args[1])
+	case KindPhases:
+		// The payload is three wall-clock durations — observational like
+		// TS, so the canonical form keeps only the event's position.
+		return fmt.Sprintf("phases gen=%d round=%d", e.Gen, e.Round)
 	default:
 		return fmt.Sprintf("%s gen=%d round=%d args=%d,%d,%d,%d",
 			e.Kind, e.Gen, e.Round, e.Args[0], e.Args[1], e.Args[2], e.Args[3])

@@ -64,10 +64,38 @@ func ForChunked(nthreads, n, chunk int, body func(tid, i int)) {
 	wg.Wait()
 }
 
+// BlockRange returns the half-open range [lo, hi) of thread tid in a static
+// block partition of n items over `workers` threads: the first n%workers
+// threads receive one extra item. The boundaries are a pure function of
+// (n, workers, tid), which is what makes a phase whose output slot depends
+// only on its index deterministic under this partition. tid >= n yields an
+// empty range.
+func BlockRange(n, workers, tid int) (lo, hi int) {
+	if workers <= 1 {
+		if tid == 0 {
+			return 0, n
+		}
+		return n, n
+	}
+	per := n / workers
+	rem := n % workers
+	lo = tid * per
+	if tid < rem {
+		lo += tid
+	} else {
+		lo += rem
+	}
+	hi = lo + per
+	if tid < rem {
+		hi++
+	}
+	return lo, hi
+}
+
 // ForBlocked runs body(tid, lo, hi) over a static block partition of [0, n):
-// thread tid receives one contiguous range. Useful when per-thread
-// sequential order within a block matters or when the body amortizes work
-// across its whole range.
+// thread tid receives one contiguous range (see BlockRange). Useful when
+// per-thread sequential order within a block matters or when the body
+// amortizes work across its whole range.
 func ForBlocked(nthreads, n int, body func(tid, lo, hi int)) {
 	if n == 0 {
 		return
@@ -82,20 +110,13 @@ func ForBlocked(nthreads, n int, body func(tid, lo, hi int)) {
 	}
 	var wg sync.WaitGroup
 	wg.Add(workers)
-	per := n / workers
-	rem := n % workers
-	lo := 0
 	for t := 0; t < workers; t++ {
-		hi := lo + per
-		if t < rem {
-			hi++
-		}
+		lo, hi := BlockRange(n, workers, t)
 		//detlint:ignore goroutineorder fork-join over a static block partition: block boundaries are a pure function of (nthreads, n), and wg.Wait joins before results are read
 		go func(tid, lo, hi int) {
 			defer wg.Done()
 			body(tid, lo, hi)
 		}(t, lo, hi)
-		lo = hi
 	}
 	wg.Wait()
 }
@@ -145,12 +166,29 @@ func NewBarrier(parties int) *Barrier {
 // straggler it is waiting on gets scheduled. Under job-server
 // oversubscription that turns microsecond rounds into millisecond rounds;
 // parking instead frees the processor for whoever has real work.
-func (b *Barrier) Wait() {
+func (b *Barrier) Wait() { b.WaitDo(nil) }
+
+// WaitDo is Wait with a fused serial section: the last party to arrive runs
+// fn (if non-nil) before releasing the others. Every other party is blocked
+// inside the barrier while fn runs, so fn has exclusive access to all state
+// shared by the parties — it is a serial section that costs one barrier
+// crossing instead of the two a "barrier; worker 0 works; barrier" pattern
+// pays. All parties of one phase must pass equivalent callbacks (only the
+// last arriver's runs, and which party arrives last is not deterministic);
+// state written by fn is visible to every party after release via the
+// release store of the barrier sense.
+func (b *Barrier) WaitDo(fn func()) {
 	if b.parties <= 1 {
+		if fn != nil {
+			fn()
+		}
 		return
 	}
 	sense := b.sense.Load()
 	if b.count.Add(1) == b.parties {
+		if fn != nil {
+			fn()
+		}
 		b.count.Store(0)
 		b.sense.Store(sense + 1)
 		// Pairing the store with a lock/unlock of mu guarantees any

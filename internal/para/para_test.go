@@ -98,6 +98,74 @@ func TestBarrierPhases(t *testing.T) {
 	}
 }
 
+func TestBlockRangePureAndBalanced(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 8} {
+		for _, n := range []int{0, 1, 5, 7, 8, 100, 101} {
+			prevHi := 0
+			for tid := 0; tid < workers; tid++ {
+				lo, hi := BlockRange(n, workers, tid)
+				lo2, hi2 := BlockRange(n, workers, tid)
+				if lo != lo2 || hi != hi2 {
+					t.Fatalf("n=%d workers=%d tid=%d: not a pure function", n, workers, tid)
+				}
+				if lo != prevHi {
+					t.Fatalf("n=%d workers=%d tid=%d: gap/overlap at %d (want %d)", n, workers, tid, lo, prevHi)
+				}
+				if size := hi - lo; size < n/workers || size > n/workers+1 {
+					t.Fatalf("n=%d workers=%d tid=%d: block size %d", n, workers, tid, size)
+				}
+				prevHi = hi
+			}
+			if prevHi != n {
+				t.Fatalf("n=%d workers=%d: blocks end at %d", n, workers, prevHi)
+			}
+		}
+	}
+	// tid beyond the item count yields an empty range (workers > n).
+	if lo, hi := BlockRange(2, 1, 5); lo != hi {
+		t.Fatalf("out-of-range tid got [%d,%d)", lo, hi)
+	}
+}
+
+// TestBarrierWaitDo pins the fused-serial-section contract: the callback
+// runs exactly once per crossing, while every other party is inside the
+// barrier (so it has exclusive access to shared state), and its writes are
+// visible to all parties after release.
+func TestBarrierWaitDo(t *testing.T) {
+	const parties = 5
+	const phases = 200
+	b := NewBarrier(parties)
+	var calls atomic.Int64
+	serial := 0 // written only by callbacks; read by all after release
+	Run(parties, func(tid int) {
+		for p := 0; p < phases; p++ {
+			b.WaitDo(func() {
+				calls.Add(1)
+				serial++ // exclusive: no lock needed
+			})
+			if serial != p+1 {
+				t.Errorf("tid %d phase %d: serial = %d, want %d", tid, p, serial, p+1)
+				return
+			}
+		}
+	})
+	if got := calls.Load(); got != phases {
+		t.Fatalf("callback ran %d times over %d crossings", got, phases)
+	}
+}
+
+func TestBarrierWaitDoNilIsWait(t *testing.T) {
+	b := NewBarrier(3)
+	var counter atomic.Int64
+	Run(3, func(tid int) {
+		counter.Add(1)
+		b.WaitDo(nil)
+		if counter.Load() != 3 {
+			t.Errorf("tid %d released before all parties arrived", tid)
+		}
+	})
+}
+
 func TestBarrierSingleParty(t *testing.T) {
 	b := NewBarrier(1)
 	for i := 0; i < 10; i++ {

@@ -10,9 +10,25 @@ import "galois/internal/para"
 // serialCutoff is the size below which a sequential pass wins.
 const serialCutoff = 1 << 14
 
+// Scratch holds the block buffers of a parallel ExclusiveSum so a scan on a
+// hot path (the deterministic scheduler runs one per round) allocates
+// nothing once warm. The zero value is ready to use.
+type Scratch struct {
+	bounds []int
+	sums   []int64
+}
+
 // ExclusiveSum replaces counts with its exclusive prefix sum and returns
 // the total: counts'[i] = sum of counts[0:i].
 func ExclusiveSum(counts []int64, nthreads int) int64 {
+	var s Scratch
+	return ExclusiveSumScratch(counts, nthreads, &s)
+}
+
+// ExclusiveSumScratch is ExclusiveSum with caller-retained block scratch.
+// The result is identical for any nthreads and any scratch state; only the
+// allocation behavior differs.
+func ExclusiveSumScratch(counts []int64, nthreads int, s *Scratch) int64 {
 	n := len(counts)
 	if n == 0 {
 		return 0
@@ -32,11 +48,17 @@ func ExclusiveSum(counts []int64, nthreads int) int64 {
 	if blocks > n {
 		blocks = n
 	}
-	bounds := make([]int, blocks+1)
+	if cap(s.bounds) < blocks+1 {
+		s.bounds = make([]int, blocks+1)
+	}
+	bounds := s.bounds[:blocks+1]
 	for i := 0; i <= blocks; i++ {
 		bounds[i] = n * i / blocks
 	}
-	sums := make([]int64, blocks)
+	if cap(s.sums) < blocks {
+		s.sums = make([]int64, blocks)
+	}
+	sums := s.sums[:blocks]
 	para.ForBlocked(blocks, blocks, func(_, lo, hi int) {
 		for b := lo; b < hi; b++ {
 			var s int64

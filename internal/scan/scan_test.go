@@ -60,6 +60,61 @@ func TestExclusiveSumMatchesSerial(t *testing.T) {
 	}
 }
 
+// TestExclusiveSumScratchReuse checks the retained-scratch contract the
+// scheduler's per-round scan depends on: results identical to the
+// allocating form for every (size, threads) mix — across the serial cutoff
+// in both directions — and zero allocations once the scratch is warm.
+func TestExclusiveSumScratchReuse(t *testing.T) {
+	var s Scratch
+	r := rng.New(11)
+	for _, n := range []int{0, 1, 7, 1000, serialCutoff, serialCutoff + 1, 1 << 15} {
+		for _, threads := range []int{1, 2, 3, 8} {
+			a := make([]int64, n)
+			b := make([]int64, n)
+			for i := range a {
+				a[i] = int64(r.Intn(50))
+				b[i] = a[i]
+			}
+			wantTotal := ExclusiveSum(b, threads)
+			total := ExclusiveSumScratch(a, threads, &s)
+			if total != wantTotal {
+				t.Fatalf("n=%d threads=%d: total %d, want %d", n, threads, total, wantTotal)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("n=%d threads=%d: scan diverges at %d", n, threads, i)
+				}
+			}
+		}
+	}
+	// The round hot path: per-chunk count arrays stay far below the serial
+	// cutoff, and that path must not allocate at all — it runs inside a
+	// barrier callback every round. (The parallel path forks goroutines
+	// and is only taken for scans far larger than any round produces.)
+	hot := make([]int64, 4096)
+	allocs := testing.AllocsPerRun(10, func() {
+		for i := range hot {
+			hot[i] = int64(i & 7)
+		}
+		ExclusiveSumScratch(hot, 8, &s)
+	})
+	if allocs != 0 {
+		t.Errorf("warm ExclusiveSumScratch allocates %.0f per run, want 0", allocs)
+	}
+	// Warm scratch is retained across parallel-path calls: the block
+	// buffers must not be rebuilt once grown.
+	big := make([]int64, 1<<15)
+	ExclusiveSumScratch(big, 8, &s)
+	p0 := &s.sums[0]
+	for i := range big {
+		big[i] = 1
+	}
+	ExclusiveSumScratch(big, 8, &s)
+	if p0 != &s.sums[0] {
+		t.Error("parallel-path scratch reallocated on reuse")
+	}
+}
+
 func TestPackPreservesOrder(t *testing.T) {
 	r := rng.New(5)
 	for trial := 0; trial < 20; trial++ {
