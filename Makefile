@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race trace-smoke serve-smoke bench-compare
+.PHONY: check build vet lint lint-effects test race trace-smoke serve-smoke bench-compare
 
 # Everything CI runs, in CI's order.
 check: vet lint build test race trace-smoke serve-smoke bench-compare
@@ -20,6 +20,13 @@ vet:
 lint:
 	$(GO) run ./cmd/detlint ./...
 
+# Only the interprocedural effect passes (see DESIGN.md, "Effect analysis
+# and the failsafe theorem"): failsafe-point verification, commit-handler
+# purity and fingerprint taint. Useful while working on operator code,
+# where these are the rules that actually move.
+lint-effects:
+	$(GO) run ./cmd/detlint -run failsafe,commitpure,taintfp ./...
+
 test:
 	$(GO) test ./...
 
@@ -29,7 +36,7 @@ test:
 # never exhibit, the race detector catches unsynchronized access the
 # linter cannot see.
 race:
-	$(GO) test -race ./internal/core/... ./internal/apps/... ./internal/serve/...
+	$(GO) test -race ./internal/core/... ./internal/apps/... ./internal/serve/... ./internal/para/... ./internal/psort/... ./internal/scan/...
 
 # End-to-end trace check: run one traced figure at small scale, then prove
 # the emitted Chrome trace-event JSON parses and is structurally sound

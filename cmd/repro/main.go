@@ -100,6 +100,7 @@ func main() {
 			os.Exit(1)
 		}
 	case "window":
+		//detlint:ignore taintfp inputs carry harness timing state; report fingerprints come from det receipts, not timings
 		if err := harness.WindowTrace(in, sweep[len(sweep)-1], tr, os.Stdout, os.Stderr); err != nil {
 			fmt.Fprintln(os.Stderr, "repro:", err)
 			os.Exit(1)
@@ -120,6 +121,7 @@ func main() {
 		}
 		for _, f := range figs {
 			fmt.Println()
+			//detlint:ignore taintfp inputs carry harness timing state; report fingerprints come from det receipts, not timings
 			if err := harness.Figure(f, in, threads, os.Stdout); err != nil {
 				fmt.Fprintln(os.Stderr, "repro:", err)
 				os.Exit(1)
@@ -132,8 +134,10 @@ func main() {
 		var b *obs.Bench
 		if *benchAllocs {
 			// CollectBenchAllocs manages fresh/engine modes itself.
+			//detlint:ignore taintfp inputs carry harness timing state; bench fingerprints come from det receipts, not timings
 			b = harness.CollectBenchAllocs(in, maxT, sc.Name)
 		} else {
+			//detlint:ignore taintfp inputs carry harness timing state; bench fingerprints come from det receipts, not timings
 			b = harness.CollectBench(in, maxT, sc.Name)
 		}
 		if *benchSweep != "" {
@@ -153,6 +157,7 @@ func main() {
 			for _, e := range b.Entries {
 				have[e.Key()] = true
 			}
+			//detlint:ignore taintfp inputs carry harness timing state; bench fingerprints come from det receipts, not timings
 			for _, e := range harness.CollectBenchSweep(in, sweep, sc.Name).Entries {
 				if !have[e.Key()] {
 					b.Add(e)

@@ -1,0 +1,308 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The analysis cache: per-package findings keyed by the content of every
+// source file the package's analysis can observe. Because the effect
+// passes are interprocedural, a package's findings depend not only on its
+// own files but on everything it transitively imports inside the module —
+// so the cache key hashes the package's module-internal import closure,
+// discovered with an imports-only parse (no type checking). Editing one
+// file therefore invalidates exactly the packages that can see it, and
+// nothing else.
+//
+// Entries are JSON files under the cache directory (one per package), each
+// carrying its key; a mismatched or unreadable entry is a miss. The key
+// also folds in the tool version, the Go version, the configuration and
+// the enabled rule set, so upgrades and config edits invalidate cleanly.
+
+// cacheVersion invalidates every entry when the analysis itself changes.
+const cacheVersion = "detlint-cache-v1"
+
+// CacheStats counts cache outcomes for one run.
+type CacheStats struct {
+	Hits   int
+	Misses int
+}
+
+// Cache is a per-package findings cache rooted at one directory.
+type Cache struct {
+	dir     string
+	confSig string
+	// fileHashes memoizes content hashes within one run.
+	fileHashes map[string]string
+	// imports memoizes the imports-only scan per package rel.
+	imports map[string][]string
+}
+
+// OpenCache creates (if needed) and opens a findings cache in dir, keyed
+// against the given configuration.
+func OpenCache(dir string, cfg *Config) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Cache{
+		dir:        dir,
+		confSig:    configSignature(cfg),
+		fileHashes: make(map[string]string),
+		imports:    make(map[string][]string),
+	}, nil
+}
+
+// configSignature folds everything configuration-shaped into one string.
+func configSignature(cfg *Config) string {
+	var b strings.Builder
+	b.WriteString(cacheVersion)
+	b.WriteString("|go=")
+	b.WriteString(runtime.Version())
+	writeList := func(tag string, list []string) {
+		sorted := append([]string(nil), list...)
+		sort.Strings(sorted)
+		b.WriteString("|" + tag + "=")
+		b.WriteString(strings.Join(sorted, ","))
+	}
+	writeList("critical", cfg.CriticalPrefixes)
+	writeList("exempt", cfg.ExemptPrefixes)
+	writeList("rules", cfg.Rules)
+	var rex []string
+	for prefix, rules := range cfg.RuleExemptions {
+		sorted := append([]string(nil), rules...)
+		sort.Strings(sorted)
+		rex = append(rex, prefix+":"+strings.Join(sorted, ","))
+	}
+	sort.Strings(rex)
+	writeList("ruleexempt", rex)
+	return b.String()
+}
+
+// cacheEntry is the on-disk format of one package's findings.
+type cacheEntry struct {
+	Key      string    `json:"key"`
+	Findings []Finding `json:"findings"`
+}
+
+// entryPath maps a package rel path to its cache file.
+func (c *Cache) entryPath(rel string) string {
+	name := strings.ReplaceAll(rel, "/", "__")
+	if name == "" {
+		name = "_root_"
+	}
+	return filepath.Join(c.dir, name+".json")
+}
+
+// Key computes the cache key for the package at rel: a hash over the
+// configuration signature and the (path, content-hash) of every source
+// file in the package's module-internal import closure. An error means the
+// closure could not be scanned; callers treat that as a miss.
+func (c *Cache) Key(l *Loader, rel string) (string, error) {
+	closure := make(map[string]bool)
+	if err := c.importClosure(l, rel, closure); err != nil {
+		return "", err
+	}
+	rels := make([]string, 0, len(closure))
+	for r := range closure {
+		rels = append(rels, r)
+	}
+	sort.Strings(rels)
+
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\npkg=%s\n", c.confSig, rel)
+	for _, r := range rels {
+		dir := filepath.Join(l.ModRoot, filepath.FromSlash(r))
+		names, err := goSources(dir)
+		if err != nil {
+			return "", err
+		}
+		for _, name := range names {
+			path := filepath.Join(dir, name)
+			fh, err := c.fileHash(path)
+			if err != nil {
+				return "", err
+			}
+			fmt.Fprintf(h, "%s/%s %s\n", r, name, fh)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func (c *Cache) fileHash(path string) (string, error) {
+	if fh, ok := c.fileHashes[path]; ok {
+		return fh, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	fh := hex.EncodeToString(sum[:])
+	c.fileHashes[path] = fh
+	return fh, nil
+}
+
+// importClosure adds rel and every module-internal package it transitively
+// imports to out, using an imports-only parse.
+func (c *Cache) importClosure(l *Loader, rel string, out map[string]bool) error {
+	if out[rel] {
+		return nil
+	}
+	out[rel] = true
+	deps, ok := c.imports[rel]
+	if !ok {
+		dir := filepath.Join(l.ModRoot, filepath.FromSlash(rel))
+		names, err := goSources(dir)
+		if err != nil {
+			return err
+		}
+		seen := make(map[string]bool)
+		fset := token.NewFileSet()
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ImportsOnly)
+			if err != nil {
+				return err
+			}
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				var depRel string
+				switch {
+				case path == l.ModPath:
+					depRel = ""
+				case strings.HasPrefix(path, l.ModPath+"/"):
+					depRel = strings.TrimPrefix(path, l.ModPath+"/")
+				default:
+					continue
+				}
+				if !seen[depRel] {
+					seen[depRel] = true
+					deps = append(deps, depRel)
+				}
+			}
+		}
+		sort.Strings(deps)
+		c.imports[rel] = deps
+	}
+	for _, dep := range deps {
+		if err := c.importClosure(l, dep, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get returns the cached findings for rel if the stored key matches.
+func (c *Cache) Get(rel, key string) ([]Finding, bool) {
+	data, err := os.ReadFile(c.entryPath(rel))
+	if err != nil {
+		return nil, false
+	}
+	var e cacheEntry
+	if json.Unmarshal(data, &e) != nil || e.Key != key {
+		return nil, false
+	}
+	return e.Findings, true
+}
+
+// Put stores the findings for rel under key. A failed write only costs the
+// next run a re-analysis, so the error is returned for logging, not fatal.
+func (c *Cache) Put(rel, key string, findings []Finding) error {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	data, err := json.Marshal(cacheEntry{Key: key, Findings: findings})
+	if err != nil {
+		return err
+	}
+	tmp := c.entryPath(rel) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, c.entryPath(rel))
+}
+
+// RunCached is the cache-aware driver: patterns expand to package
+// directories, cached packages contribute their stored findings, and only
+// the misses are loaded and analyzed (against a world containing
+// everything the loader pulled in, so cross-package summaries resolve).
+// A nil cache degrades to plain load-and-run.
+func RunCached(cfg *Config, l *Loader, cache *Cache, patterns ...string) ([]Finding, CacheStats, error) {
+	var stats CacheStats
+	dirs, err := l.MatchDirs(patterns...)
+	if err != nil {
+		return nil, stats, err
+	}
+
+	var out []Finding
+	type missPkg struct {
+		dir string
+		rel string
+		key string
+	}
+	var misses []missPkg
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.ModRoot, dir)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, stats, fmt.Errorf("lint: %s is outside module %s", dir, l.ModRoot)
+		}
+		if rel == "." {
+			rel = ""
+		}
+		rel = filepath.ToSlash(rel)
+		key := ""
+		if cache != nil {
+			if key, err = cache.Key(l, rel); err == nil {
+				if fs, ok := cache.Get(rel, key); ok {
+					stats.Hits++
+					out = append(out, fs...)
+					continue
+				}
+			} else {
+				key = "" // unscannable closure: analyze without caching
+			}
+		}
+		stats.Misses++
+		misses = append(misses, missPkg{dir: dir, rel: rel, key: key})
+	}
+
+	var pkgs []*Package
+	for _, m := range misses {
+		p, err := l.LoadDir(m.dir, "")
+		if err != nil {
+			return nil, stats, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	if len(pkgs) > 0 {
+		fresh := RunProgram(cfg, pkgs, l.Loaded())
+		byDir := make(map[string][]Finding)
+		for _, f := range fresh {
+			d := filepath.Dir(f.Pos.Filename)
+			byDir[d] = append(byDir[d], f)
+		}
+		for i, m := range misses {
+			fs := byDir[pkgs[i].Dir]
+			if cache != nil && m.key != "" {
+				if err := cache.Put(m.rel, m.key, fs); err != nil {
+					return nil, stats, err
+				}
+			}
+		}
+		out = append(out, fresh...)
+	}
+	sortFindings(out)
+	return out, stats, nil
+}

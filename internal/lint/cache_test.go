@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// cacheModule lays out a module with a dependency edge (b imports a) and an
+// independent package c, each holding one deliberate wallclock finding so
+// cached and fresh results are distinguishable from "no findings".
+func cacheModule(t *testing.T) string {
+	t.Helper()
+	return writeModule(t, map[string]string{
+		"go.mod": "module example.test/cached\n\ngo 1.22\n",
+		"a/a.go": "package a\n\nimport \"time\"\n\nfunc Stamp() int64 { return time.Now().UnixNano() }\n",
+		"b/b.go": "package b\n\nimport (\n\t\"time\"\n\n\t\"example.test/cached/a\"\n)\n\nfunc Both() int64 { return a.Stamp() + time.Now().UnixNano() }\n",
+		"c/c.go": "package c\n\nimport \"time\"\n\nfunc Alone() int64 { return time.Now().UnixNano() }\n",
+	})
+}
+
+func cacheConfig() *Config {
+	return &Config{CriticalPrefixes: []string{"*"}}
+}
+
+func runCachedAt(t *testing.T, root string, cache *Cache) ([]Finding, CacheStats) {
+	t.Helper()
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, stats, err := RunCached(cacheConfig(), l, cache, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings, stats
+}
+
+func TestCacheInvalidation(t *testing.T) {
+	root := cacheModule(t)
+	cache, err := OpenCache(filepath.Join(root, ".cache", "detlint"), cacheConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	first, stats := runCachedAt(t, root, cache)
+	if stats.Hits != 0 || stats.Misses != 3 {
+		t.Fatalf("cold run: hits=%d misses=%d, want 0/3", stats.Hits, stats.Misses)
+	}
+	if len(first) != 3 {
+		t.Fatalf("cold run found %d findings, want 3 wallclock: %v", len(first), first)
+	}
+
+	// Nothing changed: every package is served from the cache, and the
+	// findings come back identical (fresh Cache handle, so only disk state
+	// carries over).
+	cache2, err := OpenCache(filepath.Join(root, ".cache", "detlint"), cacheConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, stats := runCachedAt(t, root, cache2)
+	if stats.Hits != 3 || stats.Misses != 0 {
+		t.Fatalf("warm run: hits=%d misses=%d, want 3/0", stats.Hits, stats.Misses)
+	}
+	if len(second) != len(first) {
+		t.Fatalf("warm run returned %d findings, want %d", len(second), len(first))
+	}
+	for i := range first {
+		if first[i].String() != second[i].String() {
+			t.Errorf("finding %d changed across cache: %q vs %q", i, first[i], second[i])
+		}
+	}
+
+	// Touch a file in a: a re-analyzes (its own file changed) and so does b
+	// (its import closure includes a), but c's key is untouched.
+	path := filepath.Join(root, "a", "a.go")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, []byte("\n// touched\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cache3, err := OpenCache(filepath.Join(root, ".cache", "detlint"), cacheConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	third, stats := runCachedAt(t, root, cache3)
+	if stats.Hits != 1 || stats.Misses != 2 {
+		t.Fatalf("after touching a/a.go: hits=%d misses=%d, want 1 hit (c) and 2 misses (a, b)", stats.Hits, stats.Misses)
+	}
+	if len(third) != len(first) {
+		t.Fatalf("post-touch run returned %d findings, want %d", len(third), len(first))
+	}
+}
+
+func TestCacheConfigChangeInvalidates(t *testing.T) {
+	root := cacheModule(t)
+	dir := filepath.Join(root, ".cache", "detlint")
+	cfg := cacheConfig()
+	cache, err := OpenCache(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, stats := runCachedAt(t, root, cache); stats.Misses != 3 {
+		t.Fatalf("cold run misses=%d, want 3", stats.Misses)
+	}
+
+	// A different rule set is a different analysis: every entry misses.
+	narrowed := &Config{CriticalPrefixes: []string{"*"}}
+	if err := narrowed.SetRules("maprange"); err != nil {
+		t.Fatal(err)
+	}
+	cache2, err := OpenCache(dir, narrowed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, stats, err := RunCached(narrowed, l, cache2, "./..."); err != nil {
+		t.Fatal(err)
+	} else if stats.Hits != 0 || stats.Misses != 3 {
+		t.Errorf("rule-change run: hits=%d misses=%d, want 0/3", stats.Hits, stats.Misses)
+	}
+}
+
+func TestCacheSurvivesEmptyFindings(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":         "module example.test/clean\n\ngo 1.22\n",
+		"quiet/quiet.go": "package quiet\n\nfunc Nothing() {}\n",
+	})
+	dir := filepath.Join(root, ".cache", "detlint")
+	cache, err := OpenCache(dir, cacheConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, stats := runCachedAt(t, root, cache)
+	if len(findings) != 0 || stats.Misses != 1 {
+		t.Fatalf("cold clean run: findings=%v misses=%d", findings, stats.Misses)
+	}
+	// An empty result is still a cache entry — silence must not force
+	// eternal re-analysis.
+	cache2, err := OpenCache(dir, cacheConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, stats := runCachedAt(t, root, cache2); stats.Hits != 1 || stats.Misses != 0 {
+		t.Errorf("warm clean run: hits=%d misses=%d, want 1/0", stats.Hits, stats.Misses)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	if len(names) != 1 || !strings.HasSuffix(names[0], ".json") {
+		t.Errorf("cache dir holds %v, want one .json entry", names)
+	}
+}

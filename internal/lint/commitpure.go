@@ -1,0 +1,23 @@
+package lint
+
+// commitPurePass verifies the second half of the cautious-task contract:
+// a commit handler runs after conflict detection, holding exactly the
+// neighborhood its task acquired, so it may write memory reachable from
+// the operator's captured state and work item but must not touch
+// package-level state, acquire further neighborhoods, or make calls the
+// effect analyzer cannot resolve. Handlers are found at every
+// ctx.OnCommit registration (directly or through a single-assignment
+// local binding); the check follows helpers interprocedurally.
+func commitPurePass() *Pass {
+	p := &Pass{
+		Name:       "commitpure",
+		Doc:        "commit handler writes only state acquired by its own task",
+		Everywhere: true,
+	}
+	p.Run = func(u *Unit) {
+		for _, v := range u.world.CheckCommits(u.epkg) {
+			u.Reportf(v.Pos, "%s", v.Msg)
+		}
+	}
+	return p
+}

@@ -3,6 +3,8 @@ package lint
 import (
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -31,6 +33,9 @@ type Config struct {
 	ExemptPrefixes   []string
 	// RuleExemptions maps a path prefix to the pass names disabled there.
 	RuleExemptions map[string][]string
+	// Rules, when non-empty, restricts the run to the named passes (the
+	// CLI's -run flag). It participates in the analysis cache key.
+	Rules []string
 }
 
 // DefaultConfig covers this repository's layout: every package is critical
@@ -110,6 +115,69 @@ func (c *Config) ExemptRule(rel, rule string) bool {
 		}
 	}
 	return false
+}
+
+// RuleEnabled reports whether the named pass is part of this run: all
+// passes when Rules is empty, otherwise only the listed ones.
+func (c *Config) RuleEnabled(rule string) bool {
+	if len(c.Rules) == 0 {
+		return true
+	}
+	for _, r := range c.Rules {
+		if r == rule {
+			return true
+		}
+	}
+	return false
+}
+
+// SetRules validates and installs a -run style rule subset.
+func (c *Config) SetRules(list string) error {
+	known := make(map[string]bool)
+	for _, p := range Passes() {
+		known[p.Name] = true
+	}
+	for _, r := range strings.Split(list, ",") {
+		r = strings.TrimSpace(r)
+		if r == "" {
+			continue
+		}
+		if !known[r] {
+			return fmt.Errorf("unknown rule %q (have: %s)", r, ruleNames())
+		}
+		c.Rules = append(c.Rules, r)
+	}
+	return nil
+}
+
+// UnmatchedPrefixes returns the configured path prefixes that do not name
+// an existing directory under modRoot — almost always a typo or a stale
+// entry after a package move, which would otherwise silently widen or
+// narrow the analysis scope.
+func (c *Config) UnmatchedPrefixes(modRoot string) []string {
+	var out []string
+	seen := make(map[string]bool)
+	check := func(prefix string) {
+		if prefix == "*" || prefix == "" || prefix == "." || seen[prefix] {
+			return
+		}
+		seen[prefix] = true
+		st, err := os.Stat(filepath.Join(modRoot, filepath.FromSlash(prefix)))
+		if err != nil || !st.IsDir() {
+			out = append(out, prefix)
+		}
+	}
+	for _, p := range c.CriticalPrefixes {
+		check(p)
+	}
+	for _, p := range c.ExemptPrefixes {
+		check(p)
+	}
+	for p := range c.RuleExemptions {
+		check(p)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func matchAny(prefixes []string, rel string) bool {

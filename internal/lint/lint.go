@@ -20,6 +20,8 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+
+	"galois/internal/lint/effects"
 )
 
 // Finding is one reported hazard.
@@ -53,6 +55,9 @@ func Passes() []*Pass {
 		wallClockPass(),
 		globalRandPass(),
 		cautiousPass(),
+		failsafePass(),
+		commitPurePass(),
+		taintFPPass(),
 		goroutineOrderPass(),
 	}
 }
@@ -62,6 +67,11 @@ type Unit struct {
 	Pkg  *Package
 	Cfg  *Config
 	pass *Pass
+
+	// world and epkg back the interprocedural passes: the whole-program
+	// effect analyzer and this package's view into it.
+	world *effects.World
+	epkg  *effects.Pkg
 
 	findings []Finding
 }
@@ -77,40 +87,99 @@ func (u *Unit) Reportf(pos token.Pos, format string, args ...any) {
 
 // Run executes every pass over every package and returns findings sorted by
 // file, line and rule. Malformed //detlint: directives are reported as
-// findings of the pseudo-rule "directive".
+// findings of the pseudo-rule "directive". The interprocedural passes
+// resolve calls within the given packages only; use RunProgram to widen
+// their world beyond the reported set.
 func Run(cfg *Config, pkgs []*Package) []Finding {
+	return RunProgram(cfg, pkgs, pkgs)
+}
+
+// RunProgram is Run with an explicit analysis world: findings are reported
+// for pkgs, while the effect analyzer resolves cross-package calls against
+// world (a superset of pkgs — typically everything the loader pulled in).
+func RunProgram(cfg *Config, pkgs, world []*Package) []Finding {
+	views := make(map[*Package]*effects.Pkg, len(world))
+	var epkgs []*effects.Pkg
+	addView := func(p *Package) {
+		if _, ok := views[p]; !ok {
+			views[p] = effectsView(p)
+			epkgs = append(epkgs, views[p])
+		}
+	}
+	for _, p := range world {
+		addView(p)
+	}
+	for _, p := range pkgs {
+		addView(p)
+	}
+	w := effects.NewWorld(epkgs)
+
 	var out []Finding
-	passes := Passes()
 	for _, pkg := range pkgs {
-		if cfg.Exempt(pkg.Rel) {
+		out = append(out, runPackage(cfg, pkg, w, views[pkg])...)
+	}
+	sortFindings(out)
+	return out
+}
+
+// runPackage executes the enabled passes over one package and reports its
+// malformed directives.
+func runPackage(cfg *Config, pkg *Package, w *effects.World, epkg *effects.Pkg) []Finding {
+	var out []Finding
+	if cfg.Exempt(pkg.Rel) {
+		return nil
+	}
+	critical := cfg.Critical(pkg.Rel)
+	for _, pass := range Passes() {
+		if !critical && !pass.Everywhere {
 			continue
 		}
-		critical := cfg.Critical(pkg.Rel)
-		for _, pass := range passes {
-			if !critical && !pass.Everywhere {
-				continue
-			}
-			if cfg.ExemptRule(pkg.Rel, pass.Name) {
-				continue
-			}
-			u := &Unit{Pkg: pkg, Cfg: cfg, pass: pass}
-			pass.Run(u)
-			out = append(out, u.findings...)
+		if !cfg.RuleEnabled(pass.Name) {
+			continue
 		}
-		for _, byLine := range pkg.directives {
-			for _, ds := range byLine {
-				for _, d := range ds {
-					if d.verb == "malformed" {
-						out = append(out, Finding{
-							Pos:  pkg.Fset.Position(d.pos),
-							Rule: "directive",
-							Msg:  d.reason,
-						})
-					}
+		if cfg.ExemptRule(pkg.Rel, pass.Name) {
+			continue
+		}
+		u := &Unit{Pkg: pkg, Cfg: cfg, pass: pass, world: w, epkg: epkg}
+		pass.Run(u)
+		out = append(out, u.findings...)
+	}
+	for _, byLine := range pkg.directives {
+		for _, ds := range byLine {
+			for _, d := range ds {
+				if d.verb == "malformed" {
+					out = append(out, Finding{
+						Pos:  pkg.Fset.Position(d.pos),
+						Rule: "directive",
+						Msg:  d.reason,
+					})
 				}
 			}
 		}
 	}
+	return out
+}
+
+// effectsView adapts a loaded package to the effect analyzer's interface,
+// wiring directive lookups into it: //detlint:effects declarations on
+// function declarations and //detlint:ordered (or ignore taintfp)
+// annotations on map ranges.
+func effectsView(p *Package) *effects.Pkg {
+	return &effects.Pkg{
+		Path:  p.Path,
+		Fset:  p.Fset,
+		Files: p.Files,
+		Info:  p.Info,
+		Declared: func(pos token.Pos) *effects.Declared {
+			return p.declaredEffects(p.Fset.Position(pos))
+		},
+		Ordered: func(pos token.Pos) bool {
+			return p.suppressed("taintfp", p.Fset.Position(pos))
+		},
+	}
+}
+
+func sortFindings(out []Finding) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -121,7 +190,6 @@ func Run(cfg *Config, pkgs []*Package) []Finding {
 		}
 		return a.Rule < b.Rule
 	})
-	return out
 }
 
 // inspect walks every file of the unit's package.

@@ -101,6 +101,12 @@ func TestGlobalRandPass(t *testing.T)     { checkFixture(t, "globalrand") }
 func TestCautiousPass(t *testing.T)       { checkFixture(t, "cautious") }
 func TestGoroutineOrderPass(t *testing.T) { checkFixture(t, "goroutineorder") }
 
+// The interprocedural effect passes: shared writes hidden behind helper
+// calls, commit-handler purity, and order-taint reaching fingerprint sinks.
+func TestFailsafePass(t *testing.T)   { checkFixture(t, "failsafe") }
+func TestCommitPurePass(t *testing.T) { checkFixture(t, "commitpure") }
+func TestTaintFPPass(t *testing.T)    { checkFixture(t, "taintfp") }
+
 // TestPersistentWorkerPoolFixture pins the analyzer's coverage of the
 // engine's persistent-worker substrate (internal/para.Pool): an
 // unannotated parked-worker spawn is still a goroutineorder finding, and
@@ -163,8 +169,8 @@ func TestMalformedDirectivesAreReported(t *testing.T) {
 	pkg := loadFixture(t, "directive")
 	cfg := &Config{CriticalPrefixes: []string{"*"}}
 	findings := Run(cfg, []*Package{pkg})
-	if len(findings) != 3 {
-		t.Fatalf("want 3 directive findings, got %d: %v", len(findings), findings)
+	if len(findings) != 8 {
+		t.Fatalf("want 8 directive findings, got %d: %v", len(findings), findings)
 	}
 	for _, f := range findings {
 		if f.Rule != "directive" {
@@ -188,17 +194,20 @@ func TestScopingCriticalAndExempt(t *testing.T) {
 }
 
 func TestCautiousRunsOutsideCriticalScope(t *testing.T) {
-	// The cautious pass keys off the Ctx parameter, not package identity:
-	// a task body in a non-critical package is still checked.
+	// The cautious and failsafe passes key off the Ctx parameter, not
+	// package identity: a task body in a non-critical package is still
+	// checked by both.
 	pkg := loadFixture(t, "cautious")
 	got := Run(&Config{CriticalPrefixes: []string{"internal/never"}}, []*Package{pkg})
-	if len(got) == 0 {
-		t.Fatal("cautious pass did not run outside the critical scope")
-	}
+	seen := map[string]bool{}
 	for _, f := range got {
-		if f.Rule != "cautious" {
+		seen[f.Rule] = true
+		if f.Rule != "cautious" && f.Rule != "failsafe" {
 			t.Errorf("unexpected rule outside critical scope: %s", f)
 		}
+	}
+	if !seen["cautious"] || !seen["failsafe"] {
+		t.Fatalf("cautious/failsafe did not both run outside the critical scope: %v", got)
 	}
 }
 

@@ -218,6 +218,23 @@ func (l *Loader) load(dir, ipath string) (*Package, error) {
 	return pkg, nil
 }
 
+// Loaded returns every package the loader has pulled in so far — the
+// matched set plus all transitively imported module packages — sorted by
+// import path. This is the natural "world" argument for RunProgram: even
+// a partial pattern run can then resolve cross-package callees.
+func (l *Loader) Loaded() []*Package {
+	paths := make([]string, 0, len(l.pkgs))
+	for p := range l.pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		out = append(out, l.pkgs[p])
+	}
+	return out
+}
+
 func relPath(modPath, ipath string) string {
 	if ipath == modPath {
 		return ""
@@ -270,6 +287,25 @@ func majorityPackage(files []*ast.File) []*ast.File {
 // forms: "./...", "dir/...", "dir", "./dir". The "testdata" directory and
 // hidden/underscore directories are always skipped, as the go tool does.
 func (l *Loader) Match(patterns ...string) ([]*Package, error) {
+	dirs, err := l.MatchDirs(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, d := range dirs {
+		p, err := l.LoadDir(d, "")
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// MatchDirs expands go-tool patterns to package directories without
+// parsing or type-checking anything — the cheap half of Match, used by the
+// analysis cache to decide what even needs loading.
+func (l *Loader) MatchDirs(patterns ...string) ([]string, error) {
 	var dirs []string
 	seen := make(map[string]bool)
 	add := func(d string) {
@@ -317,13 +353,5 @@ func (l *Loader) Match(patterns ...string) ([]*Package, error) {
 			return nil, err
 		}
 	}
-	var pkgs []*Package
-	for _, d := range dirs {
-		p, err := l.LoadDir(d, "")
-		if err != nil {
-			return nil, err
-		}
-		pkgs = append(pkgs, p)
-	}
-	return pkgs, nil
+	return dirs, nil
 }

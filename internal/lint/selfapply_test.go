@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"encoding/json"
 	"os/exec"
 	"testing"
 )
@@ -17,10 +18,47 @@ func TestSelfApplication(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cmd := exec.Command("go", "run", "./cmd/detlint", "./...")
-	cmd.Dir = modRoot
-	out, err := cmd.CombinedOutput()
+	// -nocache keeps this hermetic: a stale or poisoned cache entry must
+	// never be able to hide a hazard from CI.
+	for _, args := range [][]string{
+		{"run", "./cmd/detlint", "-nocache", "./..."},
+		{"run", "./cmd/detlint", "-nocache", "-run", "failsafe,commitpure,taintfp", "./..."},
+	} {
+		cmd := exec.Command("go", args...)
+		cmd.Dir = modRoot
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("detlint %v reported hazards or failed:\n%s\nerror: %v", args[2:], out, err)
+		}
+	}
+}
+
+// TestSelfApplicationJSON checks the machine-readable output path end to
+// end: a clean tree must produce a valid, empty JSON array.
+func TestSelfApplicationJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping CLI round-trip in -short mode")
+	}
+	modRoot, err := FindModuleRoot(".")
 	if err != nil {
-		t.Fatalf("detlint reported hazards or failed:\n%s\nerror: %v", out, err)
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", "./cmd/detlint", "-nocache", "-json", "./...")
+	cmd.Dir = modRoot
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("detlint -json failed:\n%s\nerror: %v", out, err)
+	}
+	var records []struct {
+		File string `json:"file"`
+		Line int    `json:"line"`
+		Rule string `json:"rule"`
+		Msg  string `json:"msg"`
+	}
+	if err := json.Unmarshal(out, &records); err != nil {
+		t.Fatalf("detlint -json output is not a JSON array: %v\n%s", err, out)
+	}
+	if len(records) != 0 {
+		t.Errorf("clean tree produced %d JSON findings: %+v", len(records), records)
 	}
 }

@@ -4,29 +4,48 @@ import (
 	"go/ast"
 	"go/token"
 	"strings"
+
+	"galois/internal/lint/effects"
 )
 
 // directive is one parsed //detlint: comment.
 //
-// Two forms are recognized, both attaching to the line they appear on and
+// Three forms are recognized, all attaching to the line they appear on and
 // to the line immediately below (so a directive can sit on its own line
 // above the statement it suppresses):
 //
 //	//detlint:ignore <rule>[,<rule>...] <reason>
 //	//detlint:ordered [<reason>]
+//	//detlint:effects <key>=<value>[,<key>=<value>...] <reason>
 //
-// "ordered" is shorthand for "ignore maprange": it asserts that the order
-// of the annotated map iteration cannot reach committed output (for
-// example because the loop body is commutative and associative).
-// "ignore all <reason>" suppresses every rule on the line.
+// "ordered" asserts that the order of the annotated map iteration cannot
+// reach committed output (for example because the loop body is commutative
+// and associative, or the collected values are sorted before use); it
+// suppresses both maprange and the taintfp source. "ignore all <reason>"
+// suppresses every rule on the line. "effects" declares a function's
+// effect summary where dynamic calls blind the interprocedural analyzer:
+// keys are acquires (none|ctx), writes (none|shared) and reads
+// (none|shared); the claim is itself checked against the statically
+// inferred summary, so it can widen the analyzer's view but never narrow
+// it. Every form except bare "ordered" requires a reason.
 type directive struct {
-	verb   string // "ignore" or "ordered"
-	rules  []string
-	reason string
-	pos    token.Pos
+	verb    string // "ignore", "ordered" or "effects"
+	rules   []string
+	reason  string
+	effects *effects.Declared // non-nil for verb "effects"
+	pos     token.Pos
 }
 
 const directivePrefix = "//detlint:"
+
+// knownRules is the set of rule names valid in ignore lists.
+func knownRules() map[string]bool {
+	known := map[string]bool{"all": true}
+	for _, p := range Passes() {
+		known[p.Name] = true
+	}
+	return known
+}
 
 // parseDirective parses the text of one comment; ok is false for comments
 // that are not detlint directives at all. A malformed directive returns
@@ -45,17 +64,57 @@ func parseDirective(c *ast.Comment) (d directive, err string, ok bool) {
 	d.verb = fields[0]
 	switch d.verb {
 	case "ordered":
-		d.rules = []string{"maprange"}
+		d.rules = []string{"maprange", "taintfp"}
 		d.reason = strings.Join(fields[1:], " ")
 	case "ignore":
 		if len(fields) < 2 {
 			return d, "detlint:ignore needs a rule name", true
 		}
+		known := knownRules()
 		d.rules = strings.Split(fields[1], ",")
+		for _, r := range d.rules {
+			if r == "" {
+				return d, "empty rule name in detlint:ignore list " + fields[1] + " (no spaces inside the list)", true
+			}
+			if !known[r] {
+				return d, "unknown rule " + r + " in detlint:ignore (have: " + ruleNames() + ", all)", true
+			}
+		}
 		d.reason = strings.Join(fields[2:], " ")
 		if d.reason == "" {
 			return d, "detlint:ignore " + fields[1] + " needs a reason", true
 		}
+	case "effects":
+		if len(fields) < 2 {
+			return d, "detlint:effects needs claims (acquires=none|ctx, writes=none|shared, reads=none|shared)", true
+		}
+		decl := &effects.Declared{}
+		for _, claim := range strings.Split(fields[1], ",") {
+			key, val, cut := strings.Cut(claim, "=")
+			if !cut {
+				return d, "detlint:effects claim " + claim + " is not key=value", true
+			}
+			var set bool
+			switch key {
+			case "acquires":
+				decl.Acquires, set = val == "ctx", val == "ctx" || val == "none"
+			case "writes":
+				decl.Writes, set = val == "shared", val == "shared" || val == "none"
+			case "reads":
+				decl.Reads, set = val == "shared", val == "shared" || val == "none"
+			default:
+				return d, "unknown detlint:effects key " + key + " (have: acquires, writes, reads)", true
+			}
+			if !set {
+				return d, "bad detlint:effects value " + claim, true
+			}
+		}
+		d.reason = strings.Join(fields[2:], " ")
+		if d.reason == "" {
+			return d, "detlint:effects " + fields[1] + " needs a reason", true
+		}
+		decl.Reason = d.reason
+		d.effects = decl
 	default:
 		return d, "unknown detlint directive " + d.verb, true
 	}
@@ -91,24 +150,51 @@ func indexDirectives(fset *token.FileSet, files []*ast.File) map[string]map[int]
 	return idx
 }
 
-// suppressed reports whether a finding of rule at position pos is covered
-// by an ignore/ordered directive on the same line or the line above.
-func (p *Package) suppressed(rule string, pos token.Position) bool {
+// at iterates the directives attached to pos: those on the same line and
+// on the line above.
+func (p *Package) at(pos token.Position, fn func(d directive) bool) {
 	byLine := p.directives[pos.Filename]
 	if byLine == nil {
-		return false
+		return
 	}
 	for _, line := range []int{pos.Line, pos.Line - 1} {
 		for _, d := range byLine[line] {
-			if d.verb == "malformed" {
-				continue
-			}
-			for _, r := range d.rules {
-				if r == rule || r == "all" {
-					return true
-				}
+			if !fn(d) {
+				return
 			}
 		}
 	}
-	return false
+}
+
+// suppressed reports whether a finding of rule at position pos is covered
+// by an ignore/ordered directive on the same line or the line above.
+func (p *Package) suppressed(rule string, pos token.Position) bool {
+	found := false
+	p.at(pos, func(d directive) bool {
+		if d.verb == "malformed" {
+			return true
+		}
+		for _, r := range d.rules {
+			if r == rule || r == "all" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// declaredEffects returns the //detlint:effects declaration covering pos
+// (a function declaration start), or nil.
+func (p *Package) declaredEffects(pos token.Position) *effects.Declared {
+	var decl *effects.Declared
+	p.at(pos, func(d directive) bool {
+		if d.verb == "effects" && d.effects != nil {
+			decl = d.effects
+			return false
+		}
+		return true
+	})
+	return decl
 }

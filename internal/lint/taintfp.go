@@ -1,0 +1,26 @@
+package lint
+
+// taintFPPass tracks nondeterministically ordered values — map iteration,
+// wall-clock reads, global RNG draws — to fingerprint sinks: hash/digest
+// writes and receipt Fingerprint fields. The det-mode guarantee is that
+// fingerprints are pure functions of the input, so order-dependent data
+// must be sorted (an in-place sort cleanses the taint) or annotated with
+// //detlint:ordered at the source, with a reason, before it may reach a
+// sink. Flows compose across module calls through per-function taint
+// summaries.
+//
+// Unlike failsafe/commitpure this pass scopes to the critical set: the
+// serving and measurement layers hash plenty of data that never feeds a
+// determinism receipt.
+func taintFPPass() *Pass {
+	p := &Pass{
+		Name: "taintfp",
+		Doc:  "nondeterministic iteration order flowing into a fingerprint sink",
+	}
+	p.Run = func(u *Unit) {
+		for _, v := range u.world.CheckTaint(u.epkg) {
+			u.Reportf(v.Pos, "%s", v.Msg)
+		}
+	}
+	return p
+}

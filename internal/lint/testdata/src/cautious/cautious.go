@@ -17,9 +17,9 @@ type node struct {
 var generation int
 
 func eagerWrites(ctx *core.Ctx[*node], n *node) {
-	n.val = 1      // want cautious
-	generation = 2 // want cautious
-	n.hits++       // want cautious
+	n.val = 1      // want cautious // want failsafe
+	generation = 2 // want cautious // want failsafe
+	n.hits++       // want cautious // want failsafe
 	ctx.Acquire(&n.lock)
 	v := n.val + 1
 	ctx.OnCommit(func(c *core.Ctx[*node]) {
@@ -30,14 +30,14 @@ func eagerWrites(ctx *core.Ctx[*node], n *node) {
 
 func capturedWrite(shared []int) func(*core.Ctx[int], int) {
 	return func(ctx *core.Ctx[int], i int) {
-		shared[i] = i // want cautious
+		shared[i] = i // want cautious // want failsafe
 		var l marks.Lockable
 		ctx.Acquire(&l)
 	}
 }
 
 func suppressedWrite(ctx *core.Ctx[*node], n *node) {
-	//detlint:ignore cautious scratch field is task-private by construction
+	//detlint:ignore cautious,failsafe scratch field is task-private by construction
 	n.hits = 0
 	ctx.Acquire(&n.lock)
 }
@@ -56,9 +56,12 @@ func localWritesAreFine(ctx *core.Ctx[*node], n *node, byValue node) {
 
 func writesAfterAcquireAreAccepted(ctx *core.Ctx[*node], n *node) {
 	ctx.Acquire(&n.lock)
-	// The pass checks the failsafe prefix only; post-acquire writes are
-	// the (weaker) textual approximation's accepted blind spot.
-	n.val = 7
+	// The textual cautious pass checks the failsafe prefix only, so this
+	// post-acquire write is its accepted blind spot. The interprocedural
+	// failsafe pass enforces the stronger contract — task bodies re-run
+	// under inspect/validate modes, so every direct shared write must sit
+	// inside the OnCommit closure — and closes it.
+	n.val = 7 // want failsafe
 }
 
 func helperWithoutAcquireIsSkipped(ctx *core.Ctx[*node], n *node) {

@@ -14,3 +14,21 @@ func missingRule() {}
 
 //detlint:ordered reductions here are commutative
 func orderedWithReasonIsWellFormed() {}
+
+//detlint:ignore maprange,nosuchrule the second rule name does not exist
+func unknownRuleInList() {}
+
+//detlint:ignore maprange, wallclock a space splits the list, leaving an empty element
+func emptyRuleElement() {}
+
+//detlint:effects acquires=maybe,writes=none acquires only takes none or ctx
+func badEffectsValue() {}
+
+//detlint:effects acquires=none,writes=none
+func effectsMissingReason() {}
+
+//detlint:effects timing=none unknown claim key
+func unknownEffectsKey() {}
+
+//detlint:effects acquires=none,writes=shared stored hooks mutate a registry
+func wellFormedEffects() {}

@@ -1,0 +1,119 @@
+// Package taintfp is a detlint test fixture: order-dependent values (map
+// iteration, wall-clock reads) must not reach fingerprint sinks, unless
+// the flow is broken by an in-place sort or annotated //detlint:ordered.
+package taintfp
+
+import (
+	"crypto/sha256"
+	"hash"
+	"sort"
+	"time"
+)
+
+type receipt struct {
+	Fingerprint string
+}
+
+func hashUnsortedKeys(m map[string]int) [32]byte {
+	h := sha256.New()
+	for k := range m { // want maprange
+		h.Write([]byte(k)) // want taintfp
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// Collect, sort, emit: the canonical deterministic merge. The sort
+// cleanses the collected slice, so the digest loop is clean.
+func hashSortedKeys(m map[string]int) [32]byte {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want maprange
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	for _, k := range keys {
+		h.Write([]byte(k))
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// An //detlint:ordered annotation on the source kills the taint at its
+// origin, so the sink downstream is clean too (and maprange is quiet).
+func orderedSourceReachesSinkCleanly(m map[string]int) [32]byte {
+	h := sha256.New()
+	//detlint:ordered digest folds per-key contributions commutatively upstream
+	for k := range m {
+		h.Write([]byte(k))
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+func timestampIntoFingerprint() receipt {
+	stamp := time.Now().String()       // want wallclock
+	return receipt{Fingerprint: stamp} // want taintfp
+}
+
+func assignsFingerprintField(m map[string]bool, r *receipt) {
+	var parts string
+	for k := range m { // want maprange
+		parts += k
+	}
+	r.Fingerprint = parts // want taintfp
+}
+
+// digestInto feeds its parameter into a hash sink; callers passing
+// order-tainted data are flagged at the call site.
+func digestInto(h hash.Hash, s string) {
+	h.Write([]byte(s))
+}
+
+func passesTaintedToHelper(m map[string]int) {
+	var joined string
+	for k := range m { // want maprange
+		joined += k
+	}
+	h := sha256.New()
+	digestInto(h, joined) // want taintfp
+}
+
+// joinKeys returns internally order-tainted data; the taint survives the
+// call boundary into the caller's sink.
+func joinKeys(m map[string]int) string {
+	var s string
+	for k := range m { // want maprange
+		s += k
+	}
+	return s
+}
+
+func sinksHelperResult(m map[string]int) receipt {
+	return receipt{Fingerprint: joinKeys(m)} // want taintfp
+}
+
+func suppressedSink(m map[string]int) receipt {
+	var s string
+	//detlint:ignore maprange,taintfp harness-only digest, not a det receipt
+	for k := range m {
+		s += k
+	}
+	//detlint:ignore taintfp harness-only digest, not a det receipt
+	return receipt{Fingerprint: s}
+}
+
+// recJoin exercises the taint-summary cycle guard.
+func recJoin(m map[string]int, depth int) string {
+	if depth == 0 {
+		return ""
+	}
+	var s string
+	for k := range m { // want maprange
+		s += k
+	}
+	return s + recJoin(m, depth-1)
+}

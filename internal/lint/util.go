@@ -64,8 +64,9 @@ func baseIdent(e ast.Expr) *ast.Ident {
 // (the galois root package's Ctx is an alias of it, so both spellings
 // resolve here).
 func (u *Unit) namedCtx(t types.Type) bool {
+	t = types.Unalias(t)
 	if ptr, ok := t.Underlying().(*types.Pointer); ok {
-		t = ptr.Elem()
+		t = types.Unalias(ptr.Elem())
 	}
 	named, ok := t.(*types.Named)
 	if !ok {

@@ -332,9 +332,9 @@ func (s *Server) recordRun(tid int, spec Spec, st stats.Stats, wall time.Duratio
 	s.met.Counter("serve.complete").Add(tid, 1)
 	s.met.Histogram("serve.job.wall_ms", obs.Pow2Bounds(1<<16)).Observe(tid, wall.Milliseconds())
 	prefix := "serve.kind." + spec.Kind
-	s.met.Counter(prefix + ".jobs").Add(tid, 1)
-	s.met.Counter(prefix + ".commits").Add(tid, st.Commits)
-	s.met.Counter(prefix + ".aborts").Add(tid, st.Aborts)
+	s.met.Counter(prefix+".jobs").Add(tid, 1)
+	s.met.Counter(prefix+".commits").Add(tid, st.Commits)
+	s.met.Counter(prefix+".aborts").Add(tid, st.Aborts)
 }
 
 // Shutdown drains the server: new submissions are rejected with 503,
