@@ -25,6 +25,11 @@
 // the trajectory is supposed to isolate performance movement from
 // behavior movement, and a fingerprint change is the latter.
 //
+// cache_hit_permille movement is printed (CACHE lines) but never gates:
+// hit rate describes the workload mix, not the code under test. Cached
+// responses carry the same fingerprint a fresh run would, so cached
+// entries participate in every fingerprint check above unchanged.
+//
 // Entries with no exact-key counterpart (a cell measured in a new mode,
 // e.g. end-to-end through galoisd) are still fingerprint-policed: a
 // deterministic cell's fingerprint is mode-independent, so it is compared
@@ -54,6 +59,12 @@ type report struct {
 	wallRegressions  []change
 	allocRegressions []change
 	behaviorChanges  []change
+	// cacheMoves tracks cache_hit_permille movement on matched keys.
+	// Informational only, never fatal: hit rate is a property of the
+	// workload mix the measurement ran, not of the code under test — what
+	// must hold is that cached entries carry unchanged fingerprints, and
+	// that is policed by the behavior checks like every other entry.
+	cacheMoves       []change
 	onlyOld, onlyNew []string
 	compared         int
 	crossChecked     int
@@ -164,6 +175,11 @@ func diff(old, new *obs.Bench, wallThreshold float64) report {
 				fmt.Sprintf("allocs/op %d -> %d (+%d)",
 					oe.AllocsPerOp, ne.AllocsPerOp, ne.AllocsPerOp-oe.AllocsPerOp)})
 		}
+		if oe.CacheHitPermille != ne.CacheHitPermille {
+			r.cacheMoves = append(r.cacheMoves, change{key,
+				fmt.Sprintf("cache_hit_permille %d -> %d (informational)",
+					oe.CacheHitPermille, ne.CacheHitPermille)})
+		}
 		// Deterministic-scheduler entries must reproduce the output and
 		// schedule shape exactly; seq entries likewise. Nondet entries make
 		// no such claim.
@@ -229,6 +245,7 @@ func main() {
 	}
 	printChanges("WALL", r.wallRegressions)
 	printChanges("ALLOC", r.allocRegressions)
+	printChanges("CACHE", r.cacheMoves)
 	printChanges("BEHAVIOR", r.behaviorChanges)
 	if !r.allocsChecked {
 		fmt.Println("note: allocation columns absent in one file; allocs not compared")

@@ -200,6 +200,57 @@ func TestDiffInFileSweepConsistency(t *testing.T) {
 	}
 }
 
+func TestDiffCacheHitPermilleIsInformational(t *testing.T) {
+	// Hit-rate movement on a matched key is reported but must not join
+	// any fatal category: it describes the workload, not the code.
+	o := serveEntry("bfs", 5_000_000, 8, "aa")
+	n := serveEntry("bfs", 500_000, 8, "aa")
+	n.CacheHitPermille = 900
+	r := diff(bench(o), bench(n), 0.10)
+	if len(r.cacheMoves) != 1 {
+		t.Fatalf("hit-rate movement not reported: %+v", r)
+	}
+	if len(r.behaviorChanges) != 0 || len(r.wallRegressions) != 0 || len(r.allocRegressions) != 0 {
+		t.Fatalf("informational cache column flagged as fatal: %+v", r)
+	}
+}
+
+func TestDiffCachedEntryFingerprintStillPoliced(t *testing.T) {
+	// A heavily-cached serve entry is policed exactly like a fresh one:
+	// the receipt a cache hit returns must carry the fingerprint a fresh
+	// execution would, so drift on a matched key is a behavior failure.
+	o := serveEntry("bfs", 5_000_000, 8, "aa")
+	n := serveEntry("bfs", 500_000, 8, "XX")
+	n.CacheHitPermille = 900
+	r := diff(bench(o), bench(n), 0.10)
+	if len(r.behaviorChanges) != 1 {
+		t.Fatalf("cached-entry fingerprint drift not flagged: %+v", r)
+	}
+	// And cross-mode: a cached serve measurement must agree with the
+	// in-process trajectory of the same cell.
+	old := bench(entry("bfs", 100, 50, "", "aa"))
+	r = diff(old, bench(n), 0.10)
+	if r.crossChecked != 1 || len(r.behaviorChanges) != 1 {
+		t.Fatalf("cached entry escaped cross-mode policing: %+v", r)
+	}
+}
+
+func TestDiffRepeatRatesAreDistinctKeys(t *testing.T) {
+	// serve-mix entries at different repeat rates measure different
+	// workloads: they must key apart (and apart from plain serve).
+	mk := func(permille int, wall int64) obs.BenchEntry {
+		e := serveEntry("bfs", wall, 8, "aa")
+		e.Mode = "serve-mix"
+		e.RepeatPermille = permille
+		return e
+	}
+	old := bench(serveEntry("bfs", 900, 8, "aa"), mk(0, 900), mk(500, 500), mk(900, 200))
+	new := bench(serveEntry("bfs", 900, 8, "aa"), mk(0, 900), mk(500, 500), mk(900, 200))
+	if r := diff(old, new, 0.10); r.compared != 4 || len(r.onlyNew) != 0 {
+		t.Fatalf("repeat rates collapsed: %+v", r)
+	}
+}
+
 func TestDiffSweepIgnoresNondet(t *testing.T) {
 	// Nondet fingerprints legitimately differ across thread counts.
 	a := threadEntry("bfs", 1, 100, "aa")

@@ -5,6 +5,13 @@
 // different thread count, which is the paper's portability property turned
 // into an API contract.
 //
+// Determinism also makes results cacheable: a det job's output is a pure
+// function of its normalized spec, so repeat submissions are served from a
+// content-addressed result cache (-cache-bytes, default 64 MiB) without an
+// engine execution — the response carries the same fingerprint with
+// "cached": true. -cache-spotcheck re-executes a seeded deterministic
+// fraction of hits through the verify path and evicts on any mismatch.
+//
 //	galoisd -addr :8090
 //	curl -s localhost:8090/jobs -d '{"kind":"bfs","variant":"g-d","scale":"small"}'
 //	curl -s localhost:8090/verify -d "$receipt"
@@ -37,6 +44,8 @@ func main() {
 	maxThreads := flag.Int("max-threads", 8, "clamp on per-job thread requests")
 	timeout := flag.Duration("timeout", 60*time.Second, "default per-job deadline when the spec omits one")
 	drain := flag.Duration("drain", 2*time.Minute, "shutdown grace period for draining admitted jobs")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result-cache byte budget; repeat det specs are served from cache at lookup speed (0 disables)")
+	spotCheck := flag.Float64("cache-spotcheck", 0, "fraction of cache hits re-executed through the verify path as an honesty check (deterministic seeded selection; 0 disables, 1 checks every hit)")
 	flag.Parse()
 
 	s := serve.NewServer(serve.Config{
@@ -45,6 +54,8 @@ func main() {
 		EngineCap:      *engineCap,
 		MaxThreads:     *maxThreads,
 		DefaultTimeout: *timeout,
+		CacheBytes:     *cacheBytes,
+		CacheSpotCheck: *spotCheck,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -6,6 +6,14 @@
 //
 //	galoisload -addr localhost:8090 -clients 1,8 -n 3 -verify 3
 //	galoisload -inprocess -scale small -bench-json BENCH.json
+//	galoisload -inprocess -repeat-rate 0,0.5,0.9 -n 30
+//
+// -repeat-rate switches to a workload mix that sweeps galoisd's result
+// cache: each request draws (from a partitioned seeded stream) either a
+// hot spec from a zipf-distributed hot set (-zipf-s, -hot-specs) with the
+// given probability, or a never-repeated cold spec. Bench entries then
+// carry Mode "serve-mix" plus the observed cache_hit_permille, tracing the
+// hit-rate → latency curve.
 //
 // Exit status is 1 if any cell observed more than one fingerprint, any
 // receipt failed verification, or any request errored.
@@ -40,12 +48,30 @@ func main() {
 	verifyN := flag.Int("verify", 0, "re-verify up to N receipts per level through POST /verify")
 	benchPath := flag.String("bench-json", "", "append mode-\"serve\" entries to this benchmark-trajectory JSON")
 	reportPath := flag.String("report", "", "write the full load reports as JSON to this file")
+	repeatFlag := flag.String("repeat-rate", "", "comma-separated repeat rates in [0,1]: each rate runs a zipf hot-set workload mix sweeping the result-cache hit rate (empty = legacy fixed-spec workload)")
+	zipfS := flag.Float64("zipf-s", 1.1, "zipf exponent of the hot-spec popularity distribution (with -repeat-rate)")
+	hotSpecs := flag.Int("hot-specs", 8, "hot seeds per cell for the repeat mix (with -repeat-rate)")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result-cache byte budget of the -inprocess server (0 disables caching)")
 	flag.Parse()
+
+	var repeatRates []float64
+	mix := *repeatFlag != ""
+	for _, s := range splitCSV(*repeatFlag) {
+		r, err := strconv.ParseFloat(s, 64)
+		if err != nil || r < 0 || r > 1 {
+			fmt.Fprintf(os.Stderr, "galoisload: bad -repeat-rate entry %q\n", s)
+			os.Exit(2)
+		}
+		repeatRates = append(repeatRates, r)
+	}
+	if !mix {
+		repeatRates = []float64{0} // one legacy pass per level
+	}
 
 	ctx := context.Background()
 	var c *serve.Client
 	if *inprocess {
-		s := serve.NewServer(serve.Config{})
+		s := serve.NewServer(serve.Config{CacheBytes: *cacheBytes})
 		ts := httptest.NewServer(s.Handler())
 		defer func() {
 			_ = s.Shutdown(ctx)
@@ -96,72 +122,80 @@ func main() {
 	failed := false
 	var reports []*serve.Report
 	for _, clients := range levels {
-		cfg := serve.LoadConfig{
-			Kinds: kinds, Variants: variants,
-			Clients: clients, PerClient: *perClient,
-			Scale: *scale, Seed: *seed, Threads: *threads, TimeoutMS: *timeoutMS,
-		}
-		start := time.Now()
-		rep, err := serve.RunLoad(ctx, c, cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "galoisload: %v\n", err)
-			os.Exit(1)
-		}
-		reports = append(reports, rep)
-		fmt.Printf("clients=%-3d requests=%-4d ok=%-4d rejected=%-3d errors=%-3d wall=%v\n",
-			clients, rep.Requests, rep.OK, rep.Rejected, rep.Errors, time.Since(start).Round(time.Millisecond))
-		for _, m := range rep.Mismatches {
-			fmt.Printf("  DETERMINISM VIOLATION %s\n", m)
-			failed = true
-		}
-		if rep.Errors > 0 {
-			for _, e := range rep.ErrorSamples {
-				fmt.Printf("  error: %s\n", e)
+		for _, rate := range repeatRates {
+			cfg := serve.LoadConfig{
+				Kinds: kinds, Variants: variants,
+				Clients: clients, PerClient: *perClient,
+				Scale: *scale, Seed: *seed, Threads: *threads, TimeoutMS: *timeoutMS,
+				Mix: mix, RepeatRate: rate, ZipfS: *zipfS, HotSpecs: *hotSpecs,
 			}
-			failed = true
-		}
-		for _, cs := range rep.Cells {
-			fp := "-"
-			if len(cs.Fingerprints) == 1 {
-				fp = cs.Fingerprints[0]
-			} else if len(cs.Fingerprints) > 1 {
-				fp = fmt.Sprintf("%d distinct!", len(cs.Fingerprints))
-			}
-			fmt.Printf("  %-6s %-5s n=%-3d median=%-10v max=%-10v fp=%s\n",
-				cs.Kind, cs.Variant, cs.Requests,
-				time.Duration(cs.MedianNS).Round(time.Microsecond),
-				time.Duration(cs.MaxNS).Round(time.Microsecond), fp)
-		}
-
-		mismatches, verified := 0, 0
-		for _, r := range rep.Receipts {
-			if verified >= *verifyN {
-				break
-			}
-			if !r.Deterministic {
-				continue
-			}
-			verified++
-			vr, err := c.Verify(ctx, r)
+			start := time.Now()
+			rep, err := serve.RunLoad(ctx, c, cfg)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "galoisload: verify %s: %v\n", r.Spec, err)
-				failed = true
-				continue
+				fmt.Fprintf(os.Stderr, "galoisload: %v\n", err)
+				os.Exit(1)
 			}
-			status := "match"
-			if !vr.Match {
-				status = "MISMATCH"
-				mismatches++
+			reports = append(reports, rep)
+			label := ""
+			if mix {
+				label = fmt.Sprintf(" repeat=%.2f", rate)
+			}
+			fmt.Printf("clients=%-3d%s requests=%-4d ok=%-4d rejected=%-3d errors=%-3d cachehits=%-4d wall=%v\n",
+				clients, label, rep.Requests, rep.OK, rep.Rejected, rep.Errors, rep.CacheHits,
+				time.Since(start).Round(time.Millisecond))
+			for _, m := range rep.Mismatches {
+				fmt.Printf("  DETERMINISM VIOLATION %s\n", m)
 				failed = true
 			}
-			fmt.Printf("  verify %-28s %s\n", r.Spec, status)
-		}
-		if *verifyN > 0 && mismatches > 0 {
-			fmt.Printf("  %d receipt(s) FAILED verification\n", mismatches)
-		}
-		//detlint:ignore taintfp bench entries report measured latency beside receipt fingerprints, which the runtime computed deterministically
-		for _, e := range rep.BenchEntries(cfg) {
-			bench.Add(e)
+			if rep.Errors > 0 {
+				for _, e := range rep.ErrorSamples {
+					fmt.Printf("  error: %s\n", e)
+				}
+				failed = true
+			}
+			for _, cs := range rep.Cells {
+				fp := "-"
+				if len(cs.Fingerprints) == 1 {
+					fp = cs.Fingerprints[0]
+				} else if len(cs.Fingerprints) > 1 {
+					fp = fmt.Sprintf("%d distinct!", len(cs.Fingerprints))
+				}
+				fmt.Printf("  %-6s %-5s n=%-3d hits=%-3d median=%-10v max=%-10v fp=%s\n",
+					cs.Kind, cs.Variant, cs.Requests, cs.CacheHits,
+					time.Duration(cs.MedianNS).Round(time.Microsecond),
+					time.Duration(cs.MaxNS).Round(time.Microsecond), fp)
+			}
+
+			mismatches, verified := 0, 0
+			for _, r := range rep.Receipts {
+				if verified >= *verifyN {
+					break
+				}
+				if !r.Deterministic {
+					continue
+				}
+				verified++
+				vr, err := c.Verify(ctx, r)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "galoisload: verify %s: %v\n", r.Spec, err)
+					failed = true
+					continue
+				}
+				status := "match"
+				if !vr.Match {
+					status = "MISMATCH"
+					mismatches++
+					failed = true
+				}
+				fmt.Printf("  verify %-28s %s\n", r.Spec, status)
+			}
+			if *verifyN > 0 && mismatches > 0 {
+				fmt.Printf("  %d receipt(s) FAILED verification\n", mismatches)
+			}
+			//detlint:ignore taintfp bench entries report measured latency beside receipt fingerprints, which the runtime computed deterministically
+			for _, e := range rep.BenchEntries(cfg) {
+				bench.Add(e)
+			}
 		}
 	}
 

@@ -267,7 +267,16 @@ func (ta *taintAnalysis) exprTaint(e ast.Expr) taint {
 				return ta.objTaint(info.ObjectOf(x.Sel))
 			}
 		}
-		return ta.exprTaint(x.X)
+		t := ta.exprTaint(x.X)
+		if x.Sel.Name == "Cached" {
+			// A receipt's Cached flag is serving metadata — which copy of a
+			// result answered, not what the result is. Any read of it is a
+			// taint source so the flag can never be folded into a
+			// fingerprint; branching on it (if r.Cached { hits++ }) stays
+			// clean because control flow does not propagate taint.
+			t = t.union(taint{src: "cache-status flag (Cached field read)"})
+		}
+		return t
 	case *ast.IndexExpr:
 		return ta.exprTaint(x.X)
 	case *ast.IndexListExpr:

@@ -7,11 +7,19 @@ import (
 	"crypto/sha256"
 	"hash"
 	"sort"
+	"strconv"
 	"time"
 )
 
 type receipt struct {
 	Fingerprint string
+}
+
+// cachedReceipt mirrors the serve Receipt shape: Cached is serving
+// metadata, and any read of it is a taint source.
+type cachedReceipt struct {
+	Fingerprint string
+	Cached      bool
 }
 
 func hashUnsortedKeys(m map[string]int) [32]byte {
@@ -104,6 +112,34 @@ func suppressedSink(m map[string]int) receipt {
 	}
 	//detlint:ignore taintfp harness-only digest, not a det receipt
 	return receipt{Fingerprint: s}
+}
+
+// The Cached flag describes which copy of a result answered a request,
+// never what the result is: deriving fingerprint material from it would
+// make a receipt's proof depend on cache state.
+func cachedFlagIntoFingerprint(r cachedReceipt) receipt {
+	mark := strconv.FormatBool(r.Cached)
+	return receipt{Fingerprint: mark} // want taintfp
+}
+
+func cachedFlagIntoDigest(r cachedReceipt) [32]byte {
+	h := sha256.New()
+	h.Write([]byte(strconv.FormatBool(r.Cached))) // want taintfp
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// Branching on the flag is fine — counting cache hits is observational
+// bookkeeping, and control flow does not propagate taint.
+func countsCacheHitsCleanly(rs []cachedReceipt) receipt {
+	hits := 0
+	for _, r := range rs {
+		if r.Cached {
+			hits++
+		}
+	}
+	return receipt{Fingerprint: strconv.Itoa(hits)}
 }
 
 // recJoin exercises the taint-summary cycle guard.

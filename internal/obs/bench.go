@@ -45,13 +45,27 @@ type BenchEntry struct {
 	// "serve" means the cell was measured end-to-end through galoisd —
 	// WallNS is then request latency, not scheduler wall time, so wall
 	// comparison across modes is meaningless; the fingerprint contract is
-	// mode-independent.
+	// mode-independent. "serve-mix" is a serve measurement under the
+	// repeat-rate workload knob (see RepeatPermille).
 	Mode string `json:"mode,omitempty"`
 	// Clients is the closed-loop client concurrency of a Mode "serve"
 	// measurement (0 for in-process modes). Part of the key: the same
 	// cell under different load levels is a different latency
 	// measurement.
 	Clients int `json:"clients,omitempty"`
+	// CacheHitPermille is the fraction (‰) of the cell's requests served
+	// from galoisd's result cache. Informational: benchdiff reports its
+	// movement but never gates on it — hit rate is a property of the
+	// workload mix, not of the code under test. The fingerprint contract
+	// is unaffected: cached responses carry the same fingerprint a fresh
+	// run would, and the differ polices exactly that.
+	CacheHitPermille int `json:"cache_hit_permille,omitempty"`
+	// RepeatPermille is the configured repeat rate (‰) of a Mode
+	// "serve-mix" workload (galoisload -repeat-rate): the probability that
+	// a request re-draws a hot spec instead of a never-seen one. Part of
+	// the key — the same cell under different repeat rates is a different
+	// latency measurement.
+	RepeatPermille int `json:"repeat_permille,omitempty"`
 	// AllocsPerOp/BytesPerOp are heap allocations and bytes per run
 	// (runtime mallocs, measured around the whole run; 0 = not measured).
 	AllocsPerOp uint64 `json:"allocs_per_op,omitempty"`
@@ -65,6 +79,9 @@ func (e BenchEntry) Key() string {
 	k := fmt.Sprintf("%s/%s/t%d/%s/%s", e.App, e.Variant, e.Threads, e.Scale, e.Mode)
 	if e.Clients > 0 {
 		k += fmt.Sprintf("/c%d", e.Clients)
+	}
+	if e.RepeatPermille > 0 {
+		k += fmt.Sprintf("/r%d", e.RepeatPermille)
 	}
 	return k
 }
@@ -110,7 +127,10 @@ func (b *Bench) Sort() {
 		if a.Mode != c.Mode {
 			return a.Mode < c.Mode
 		}
-		return a.Clients < c.Clients
+		if a.Clients != c.Clients {
+			return a.Clients < c.Clients
+		}
+		return a.RepeatPermille < c.RepeatPermille
 	})
 }
 

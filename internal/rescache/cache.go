@@ -1,0 +1,206 @@
+package rescache
+
+import (
+	"sync"
+
+	"galois/internal/obs"
+)
+
+// entry is one resident cache line. Entries form an intrusive doubly-linked
+// LRU list (head = most recently used); the map is used for lookup and
+// delete only and is never ranged, so cache behavior is independent of map
+// iteration order.
+type entry struct {
+	key        Key
+	val        any
+	size       int64
+	prev, next *entry
+}
+
+// Counters is a point-in-time snapshot of a Cache's statistics.
+type Counters struct {
+	// Hits/Misses count Get outcomes; Stores counts successful Puts,
+	// Evictions counts entries pushed out by the byte budget, Rejects
+	// counts Puts refused because a single entry exceeded the whole
+	// budget.
+	Hits, Misses, Stores, Evictions, Rejects uint64
+	// Entries and Bytes describe current residency; Budget is the
+	// configured byte budget.
+	Entries int
+	Bytes   int64
+	Budget  int64
+}
+
+// Cache is a byte-budget LRU over opaque result values, safe for concurrent
+// use. Values are treated as immutable once stored: callers must copy
+// before mutating what Get returns.
+//
+// An optional obs.Sink receives one event per state change (hit, miss,
+// store, evict). obs.Trace buffers are single-writer per tid, so the cache
+// serializes every emission under its own mutex and owns tid 0 of its sink;
+// give the cache a dedicated sink rather than sharing one with a scheduler
+// run.
+type Cache struct {
+	mu     sync.Mutex
+	budget int64
+	m      map[Key]*entry
+	head   *entry // most recently used
+	tail   *entry // least recently used
+	bytes  int64
+	sink   obs.Sink
+
+	hits, misses, stores, evictions, rejects uint64
+}
+
+// New returns a cache with the given byte budget. Budgets <= 0 would admit
+// nothing; New clamps them to 1 so a zero-value misconfiguration degrades
+// to "reject everything" rather than dividing the serving path.
+func New(budget int64) *Cache {
+	if budget <= 0 {
+		budget = 1
+	}
+	return &Cache{budget: budget, m: make(map[Key]*entry)}
+}
+
+// SetSink attaches a trace sink for cache events. Call before the cache is
+// shared with concurrent users.
+func (c *Cache) SetSink(s obs.Sink) { c.sink = s }
+
+// emit sends a cache event through the sink. Caller must hold c.mu — that
+// is what serializes writers onto the sink's tid-0 buffer.
+func (c *Cache) emit(kind obs.Kind, args [4]int64) {
+	if c.sink != nil {
+		c.sink.Emit(0, obs.Event{Kind: kind, Args: args})
+	}
+}
+
+// Event emits an arbitrary cache-related event through the cache's sink,
+// serialized with the cache's own emissions. The serving layer uses this
+// for events the cache cannot observe itself (in-flight collapse).
+func (c *Cache) Event(kind obs.Kind, args [4]int64) {
+	c.mu.Lock()
+	c.emit(kind, args)
+	c.mu.Unlock()
+}
+
+// Get returns the value stored under k and marks it most recently used.
+func (c *Cache) Get(k Key) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[k]
+	if !ok {
+		c.misses++
+		c.emit(obs.KindCacheMiss, [4]int64{k.Low64(), int64(len(c.m)), c.bytes})
+		return nil, false
+	}
+	c.hits++
+	c.moveFront(e)
+	c.emit(obs.KindCacheHit, [4]int64{k.Low64(), int64(len(c.m)), c.bytes})
+	return e.val, true
+}
+
+// Put stores v under k, charging size bytes against the budget and evicting
+// least-recently-used entries until the cache fits. A single entry larger
+// than the whole budget is rejected (stored nowhere, counted in Rejects).
+// Storing an existing key replaces its value and size.
+func (c *Cache) Put(k Key, v any, size int64) bool {
+	if size <= 0 {
+		size = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if size > c.budget {
+		c.rejects++
+		return false
+	}
+	if e, ok := c.m[k]; ok {
+		c.bytes += size - e.size
+		e.val, e.size = v, size
+		c.moveFront(e)
+	} else {
+		e = &entry{key: k, val: v, size: size}
+		c.m[k] = e
+		c.pushFront(e)
+		c.bytes += size
+	}
+	c.stores++
+	c.emit(obs.KindCacheStore, [4]int64{k.Low64(), size, c.bytes})
+	// Evict from the cold end until we fit. The just-stored entry is at
+	// the head and fits the budget by the check above, so the loop always
+	// terminates with at least it resident.
+	for c.bytes > c.budget && c.tail != nil {
+		c.evict(c.tail)
+	}
+	return true
+}
+
+// Remove deletes k (honesty enforcement: a spot-check mismatch evicts the
+// entry it contradicted). Reports whether the key was resident.
+func (c *Cache) Remove(k Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[k]
+	if !ok {
+		return false
+	}
+	c.unlink(e)
+	delete(c.m, k)
+	c.bytes -= e.size
+	c.emit(obs.KindCacheEvict, [4]int64{e.key.Low64(), e.size, c.bytes})
+	return true
+}
+
+// Counters snapshots the cache's statistics.
+func (c *Cache) Counters() Counters {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Counters{
+		Hits: c.hits, Misses: c.misses, Stores: c.stores,
+		Evictions: c.evictions, Rejects: c.rejects,
+		Entries: len(c.m), Bytes: c.bytes, Budget: c.budget,
+	}
+}
+
+// evict removes e under the budget pressure path. Caller holds c.mu.
+func (c *Cache) evict(e *entry) {
+	c.unlink(e)
+	delete(c.m, e.key)
+	c.bytes -= e.size
+	c.evictions++
+	c.emit(obs.KindCacheEvict, [4]int64{e.key.Low64(), e.size, c.bytes})
+}
+
+// --- intrusive LRU list (caller holds c.mu) ---
+
+func (c *Cache) pushFront(e *entry) {
+	e.prev, e.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Cache) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache) moveFront(e *entry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}

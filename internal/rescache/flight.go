@@ -1,0 +1,91 @@
+package rescache
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrLeaderPanic is what followers of a collapsed flight receive when the
+// leader's execution panicked. The panic itself propagates on the leader's
+// goroutine; followers get this error instead of hanging on a channel that
+// would otherwise never close.
+var ErrLeaderPanic = errors.New("rescache: in-flight leader panicked")
+
+// call is one in-flight execution. done is closed exactly once, after val,
+// err and panicked are final, so followers that observe the close also
+// observe the outcome (channel-close happens-before).
+type call struct {
+	done     chan struct{}
+	val      any
+	err      error
+	panicked bool
+}
+
+// Flight collapses concurrent executions keyed by cache Key: the first
+// caller for a key becomes the leader and runs the function; callers that
+// arrive while it is in flight become followers and share the leader's
+// outcome. Sharing is sound for exactly the reason caching is — a
+// deterministic job's result is a pure function of its key, so the
+// follower's would-have-been execution and the leader's are
+// indistinguishable.
+type Flight struct {
+	mu    sync.Mutex
+	calls map[Key]*call
+}
+
+// NewFlight returns an empty flight group.
+func NewFlight() *Flight {
+	return &Flight{calls: make(map[Key]*call)}
+}
+
+// Inflight returns the number of keys currently executing.
+func (f *Flight) Inflight() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.calls)
+}
+
+// Do executes fn under k, collapsing concurrent calls: one leader runs fn,
+// followers block until it finishes and adopt its outcome. leader reports
+// which role this call played.
+//
+// Followers wait under their own ctx — a follower whose deadline expires
+// gets ctx.Err() without disturbing the flight. A leader panic is re-raised
+// on the leader's goroutine after the flight is cleaned up; followers
+// receive ErrLeaderPanic. The call is deregistered *before* done is closed,
+// so a request arriving after completion starts fresh (and, in the serving
+// stack, finds the result in the cache) instead of joining a spent flight.
+func (f *Flight) Do(ctx context.Context, k Key, fn func() (any, error)) (val any, err error, leader bool) {
+	f.mu.Lock()
+	if c, ok := f.calls[k]; ok {
+		f.mu.Unlock()
+		//detlint:ignore goroutineorder follower wait: the adopted outcome is a pure function of the shared key (that is what makes collapsing sound), and the only schedule-dependent choice — finish vs. the follower's own deadline — never reaches a committed result
+		select {
+		case <-c.done:
+			if c.panicked {
+				return nil, ErrLeaderPanic, false
+			}
+			return c.val, c.err, false
+		case <-ctx.Done():
+			return nil, ctx.Err(), false
+		}
+	}
+	c := &call{done: make(chan struct{})}
+	f.calls[k] = c
+	f.mu.Unlock()
+
+	defer func() {
+		f.mu.Lock()
+		delete(f.calls, k)
+		f.mu.Unlock()
+		if r := recover(); r != nil {
+			c.panicked = true
+			close(c.done)
+			panic(r)
+		}
+		close(c.done)
+	}()
+	c.val, c.err = fn()
+	return c.val, c.err, true
+}

@@ -1,0 +1,191 @@
+package rescache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFlightCollapses(t *testing.T) {
+	f := NewFlight()
+	k := testKey(1)
+	var execs atomic.Int64
+	release := make(chan struct{})
+
+	const n = 16
+	var wg sync.WaitGroup
+	results := make([]any, n)
+	leaders := make([]bool, n)
+	entered := make(chan struct{})
+	var enteredOnce sync.Once
+	call := func(i int) {
+		defer wg.Done()
+		v, err, leader := f.Do(context.Background(), k, func() (any, error) {
+			execs.Add(1)
+			enteredOnce.Do(func() { close(entered) })
+			<-release // hold the flight open until every follower has joined
+			return "result", nil
+		})
+		if err != nil {
+			t.Errorf("Do: %v", err)
+		}
+		results[i], leaders[i] = v, leader
+	}
+	wg.Add(1)
+	go call(0)
+	<-entered // the leader is registered and blocked: followers must join it
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go call(i)
+	}
+	time.Sleep(10 * time.Millisecond) // let followers reach the select
+	close(release)
+	wg.Wait()
+
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("fn executed %d times, want 1", got)
+	}
+	nLeaders := 0
+	for i := 0; i < n; i++ {
+		if results[i] != "result" {
+			t.Fatalf("caller %d got %v", i, results[i])
+		}
+		if leaders[i] {
+			nLeaders++
+		}
+	}
+	if nLeaders != 1 {
+		t.Fatalf("%d leaders, want 1", nLeaders)
+	}
+}
+
+func TestFlightSequentialCallsRunFresh(t *testing.T) {
+	f := NewFlight()
+	k := testKey(1)
+	var execs int
+	for i := 0; i < 3; i++ {
+		_, err, leader := f.Do(context.Background(), k, func() (any, error) {
+			execs++
+			return i, nil
+		})
+		if err != nil || !leader {
+			t.Fatalf("call %d: err=%v leader=%v", i, err, leader)
+		}
+	}
+	if execs != 3 {
+		t.Fatalf("sequential calls executed %d times, want 3", execs)
+	}
+	if f.Inflight() != 0 {
+		t.Fatalf("flight not drained: %d", f.Inflight())
+	}
+}
+
+func TestFlightFollowerDeadline(t *testing.T) {
+	f := NewFlight()
+	k := testKey(1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go f.Do(context.Background(), k, func() (any, error) {
+		close(started)
+		<-release
+		return "late", nil
+	})
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err, leader := f.Do(ctx, k, func() (any, error) { return "never", nil })
+	if leader {
+		t.Fatal("second caller became leader while first was in flight")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("follower past its deadline got %v, want DeadlineExceeded", err)
+	}
+	close(release) // leader must still finish cleanly
+	for f.Inflight() != 0 {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestFlightLeaderPanicReleasesFollowers(t *testing.T) {
+	f := NewFlight()
+	k := testKey(1)
+	entered := make(chan struct{})
+	boom := make(chan struct{})
+
+	var followerErr error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if recover() == nil {
+				t.Error("leader panic did not propagate")
+			}
+		}()
+		f.Do(context.Background(), k, func() (any, error) {
+			close(entered)
+			<-boom
+			panic("engine blew up")
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		<-entered
+		time.Sleep(5 * time.Millisecond) // give the follower time to join
+		_, followerErr, _ = f.Do(context.Background(), k, func() (any, error) {
+			return "fresh", nil
+		})
+	}()
+	time.Sleep(15 * time.Millisecond)
+	close(boom)
+	wg.Wait()
+
+	// The second caller either joined the flight (ErrLeaderPanic) or
+	// arrived after cleanup and led its own successful run; both are
+	// correct — what must never happen is a hang, which wg.Wait() above
+	// already disproves.
+	if followerErr != nil && !errors.Is(followerErr, ErrLeaderPanic) {
+		t.Fatalf("follower error = %v, want nil or ErrLeaderPanic", followerErr)
+	}
+	if f.Inflight() != 0 {
+		t.Fatalf("panicked flight left %d calls registered", f.Inflight())
+	}
+}
+
+func TestFlightErrorSharedWithFollowers(t *testing.T) {
+	f := NewFlight()
+	k := testKey(1)
+	wantErr := errors.New("execution failed")
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err, _ := f.Do(context.Background(), k, func() (any, error) {
+			close(started)
+			<-release
+			return nil, wantErr
+		})
+		if !errors.Is(err, wantErr) {
+			t.Errorf("leader err = %v", err)
+		}
+	}()
+	<-started
+	done := make(chan error, 1)
+	go func() {
+		_, err, _ := f.Do(context.Background(), k, func() (any, error) { return "no", nil })
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if err := <-done; !errors.Is(err, wantErr) {
+		t.Fatalf("follower err = %v, want leader's %v", err, wantErr)
+	}
+}

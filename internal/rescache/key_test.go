@@ -1,0 +1,76 @@
+package rescache
+
+import (
+	"errors"
+	"testing"
+)
+
+func mustKey(t *testing.T, kind, variant, scale string, seed uint64, threads int) Key {
+	t.Helper()
+	k, err := KeyOf(kind, variant, scale, seed, threads)
+	if err != nil {
+		t.Fatalf("KeyOf(%s,%s,%s,%d,%d): %v", kind, variant, scale, seed, threads, err)
+	}
+	return k
+}
+
+func TestKeyOfStable(t *testing.T) {
+	a := mustKey(t, "bfs", "g-d", "small", 42, 2)
+	b := mustKey(t, "bfs", "g-d", "small", 42, 2)
+	if a != b {
+		t.Fatalf("identical specs hashed apart: %s vs %s", a, b)
+	}
+}
+
+func TestKeyOfFieldSeparation(t *testing.T) {
+	// Every semantic field must move the key, and adjacent string fields
+	// must not re-segment into each other.
+	base := mustKey(t, "bfs", "g-d", "small", 42, 2)
+	distinct := []Key{
+		mustKey(t, "sssp", "g-d", "small", 42, 2),
+		mustKey(t, "bfs", "g-dnc", "small", 42, 2),
+		mustKey(t, "bfs", "g-d", "default", 42, 2),
+		mustKey(t, "bfs", "g-d", "small", 43, 2),
+		mustKey(t, "bfs", "g-d", "small", 42, 4),
+	}
+	seen := map[Key]bool{base: true}
+	for _, k := range distinct {
+		if seen[k] {
+			t.Fatalf("distinct specs collided on %s", k)
+		}
+		seen[k] = true
+	}
+	// Re-segmentation: ("ab","c") vs ("a","bc") as kind/variant would
+	// collide under naive concatenation. Not normal specs, but the
+	// encoding must hold for any strings.
+	x := mustKey(t, "ab", "c", "small", 0, 1)
+	y := mustKey(t, "a", "bc", "small", 0, 1)
+	if x == y {
+		t.Fatal("length prefixing failed: adjacent fields re-segmented")
+	}
+}
+
+func TestKeyOfRejectsNondeterministic(t *testing.T) {
+	_, err := KeyOf("bfs", "g-n", "small", 42, 2)
+	if !errors.Is(err, ErrNondeterministic) {
+		t.Fatalf("g-n spec: got err %v, want ErrNondeterministic", err)
+	}
+}
+
+func TestKeyOfRejectsUnnormalized(t *testing.T) {
+	cases := []struct {
+		kind, variant, scale string
+		threads              int
+	}{
+		{"", "g-d", "small", 1},
+		{"bfs", "", "small", 1},
+		{"bfs", "g-d", "", 1},
+		{"bfs", "g-d", "small", 0},
+		{"bfs", "g-d", "small", -1},
+	}
+	for _, c := range cases {
+		if _, err := KeyOf(c.kind, c.variant, c.scale, 0, c.threads); err == nil {
+			t.Errorf("KeyOf(%q,%q,%q,th=%d): expected error", c.kind, c.variant, c.scale, c.threads)
+		}
+	}
+}

@@ -19,6 +19,15 @@
 //     rejection (HTTP 429 + Retry-After) when full, per-job deadlines, and
 //     graceful shutdown that completes every admitted job while new
 //     submissions get 503.
+//   - Result cache (internal/rescache): deterministic jobs are pure
+//     functions of their normalized spec, so results are content-
+//     addressed — a byte-budgeted LRU keyed by the canonical spec hash
+//     serves repeat submissions at lookup speed, singleflight collapses
+//     concurrent identical submissions onto one execution, and seeded
+//     spot-checks re-execute a fraction of hits through the verify path,
+//     evicting on mismatch. Cached responses carry the same receipt a
+//     fresh run would, plus a cached flag that is excluded from
+//     verification.
 //   - Fingerprint receipts (Receipt): every response carries the result
 //     fingerprint and the exact normalized job spec; POST /verify
 //     re-executes a receipt and reports match/mismatch — determinism as an

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
@@ -13,6 +14,7 @@ import (
 
 	"galois"
 	"galois/internal/obs"
+	"galois/internal/rescache"
 	"galois/internal/stats"
 )
 
@@ -40,6 +42,22 @@ type Config struct {
 	MaxBody int64
 	// Registry supplies the job kinds. Default DefaultRegistry().
 	Registry *Registry
+	// CacheBytes > 0 enables the content-addressed result cache with that
+	// byte budget; 0 (the default) disables caching entirely. cmd/galoisd
+	// defaults the flag to 64 MiB — the zero default here keeps embedded
+	// and test servers cache-free unless they opt in.
+	CacheBytes int64
+	// CacheSpotCheck is the fraction of cache hits re-executed through
+	// the verify path as an honesty check (0 disables, 1 re-executes every
+	// hit). Selection is deterministic, drawn from a seeded private
+	// stream.
+	CacheSpotCheck float64
+	// CacheSpotSeed seeds the spot-check selector. Default 1.
+	CacheSpotSeed uint64
+	// CacheSink optionally receives cache trace events (hit, miss, store,
+	// evict, collapse). The cache serializes all emissions onto tid 0 of
+	// this sink; do not share it with a traced scheduler run.
+	CacheSink obs.Sink
 }
 
 func (c *Config) fillDefaults() {
@@ -67,6 +85,9 @@ func (c *Config) fillDefaults() {
 	if c.Registry == nil {
 		c.Registry = DefaultRegistry()
 	}
+	if c.CacheSpotSeed == 0 {
+		c.CacheSpotSeed = 1
+	}
 }
 
 // job is one admitted unit of work.
@@ -75,6 +96,15 @@ type job struct {
 	kind     *Kind
 	deadline time.Time
 	admitted time.Time
+	// ckey is the result-cache address of the spec when store or recheck
+	// is set. store caches the outcome after a successful run; recheck
+	// serves from the cache if the key was filled while the job queued
+	// (a verify re-execution can land the result first) so an admitted
+	// spec never executes twice. Honesty re-executions (verify,
+	// spot-check) set store without recheck — they exist to run.
+	ckey    rescache.Key
+	store   bool
+	recheck bool
 	// done receives the outcome exactly once. Buffered so a worker never
 	// blocks on a submitter that stopped waiting (client disconnect).
 	done chan jobOutcome
@@ -93,6 +123,13 @@ type Server struct {
 	inputs *inputCache
 	pool   *EnginePool
 	mux    *http.ServeMux
+
+	// cache/flight/spot are nil unless Config.CacheBytes enabled caching:
+	// the result cache, the singleflight group collapsing identical
+	// in-flight submissions, and the deterministic hit spot-checker.
+	cache  *rescache.Cache
+	flight *rescache.Flight
+	spot   *spotChecker
 
 	queue   chan *job
 	workers sync.WaitGroup
@@ -122,6 +159,16 @@ func NewServer(cfg Config) *Server {
 		queue:  make(chan *job, cfg.QueueDepth),
 		met:    obs.NewRegistry(cfg.Workers + 1),
 	}
+	if cfg.CacheBytes > 0 {
+		s.cache = rescache.New(cfg.CacheBytes)
+		if cfg.CacheSink != nil {
+			s.cache.SetSink(cfg.CacheSink)
+		}
+		s.flight = rescache.NewFlight()
+		if cfg.CacheSpotCheck > 0 {
+			s.spot = newSpotChecker(cfg.CacheSpotCheck, cfg.CacheSpotSeed)
+		}
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
 	s.mux.HandleFunc("POST /verify", s.handleVerify)
@@ -145,6 +192,15 @@ func (s *Server) Metrics() *obs.Registry { return s.met }
 
 // PoolCounters snapshots the engine pool's checkout statistics.
 func (s *Server) PoolCounters() PoolCounters { return s.pool.Counters() }
+
+// CacheCounters snapshots the result cache's statistics; the zero value
+// when caching is disabled.
+func (s *Server) CacheCounters() rescache.Counters {
+	if s.cache == nil {
+		return rescache.Counters{}
+	}
+	return s.cache.Counters()
+}
 
 // count bumps a handler-side counter (metric cell 0, mutex-guarded).
 func (s *Server) count(name string) {
@@ -200,6 +256,15 @@ func (s *Server) Execute(ctx context.Context, spec Spec) (*JobResult, error) {
 }
 
 func (s *Server) execute(ctx context.Context, spec Spec) (*JobResult, *httpError) {
+	return s.executeMode(ctx, spec, false)
+}
+
+// executeMode is the common execution path. bypassCache marks honesty
+// re-executions — POST /verify and cache spot-checks — which must reach a
+// real engine run: they skip both the cache lookup and the singleflight
+// join (their outcome still refreshes the cache, but is never read from
+// it, so verification can never become circular).
+func (s *Server) executeMode(ctx context.Context, spec Spec, bypassCache bool) (*JobResult, *httpError) {
 	spec, kind, herr := s.normalize(spec)
 	if herr != nil {
 		return nil, herr
@@ -208,12 +273,85 @@ func (s *Server) execute(ctx context.Context, spec Spec) (*JobResult, *httpError
 	if spec.TimeoutMS > 0 {
 		timeout = time.Duration(spec.TimeoutMS) * time.Millisecond
 	}
+	key, cacheable := s.cacheKey(spec, kind)
+	if !cacheable || bypassCache {
+		return s.enqueue(ctx, spec, kind, key, cacheable, false, timeout)
+	}
+
+	if v, ok := s.cache.Get(key); ok {
+		return s.serveHit(ctx, key, spec, v.(*cachedResult))
+	}
+	s.count("serve.cache.miss")
+
+	// Collapse concurrent identical submissions onto one execution. The
+	// leader detaches from its own request context (bounded by the job
+	// deadline instead): a leader disconnect must not poison the outcome
+	// its followers are waiting to share. Followers wait under their own
+	// context plus the same deadline.
+	wctx, wcancel := context.WithTimeout(ctx, timeout)
+	defer wcancel()
+	v, ferr, leader := s.flight.Do(wctx, key, func() (any, error) {
+		lctx, lcancel := context.WithTimeout(context.WithoutCancel(ctx), timeout)
+		defer lcancel()
+		res, lerr := s.enqueue(lctx, spec, kind, key, true, true, timeout)
+		return jobOutcome{res: res, err: lerr}, nil
+	})
+	if ferr != nil {
+		if errors.Is(ferr, rescache.ErrLeaderPanic) {
+			return nil, errf(http.StatusInternalServerError, "job %s: %v", spec, ferr)
+		}
+		return nil, errf(http.StatusGatewayTimeout,
+			"request context canceled while job %s in flight: %v", spec, ferr)
+	}
+	out := v.(jobOutcome)
+	if !leader {
+		s.count("serve.cache.collapse")
+		s.cache.Event(obs.KindCacheCollapse, [4]int64{key.Low64()})
+		if out.res != nil {
+			// Followers get their own copy: results must never be shared
+			// mutable between responses.
+			shared := *out.res
+			return &shared, out.err
+		}
+	}
+	return out.res, out.err
+}
+
+// serveHit answers a request from a resident cache entry, first giving the
+// spot-checker its chance to re-execute the spec and compare fingerprints.
+// A mismatch is the cache caught lying: the entry is evicted and the fresh
+// (true) result is served. A spot-check that cannot run — draining, queue
+// full, deadline — skips rather than fails: honesty enforcement needs an
+// engine, and the hit is still backed by a verifiable receipt.
+func (s *Server) serveHit(ctx context.Context, key rescache.Key, spec Spec, cr *cachedResult) (*JobResult, *httpError) {
+	s.count("serve.cache.hit")
+	if s.spot != nil && s.spot.pick() {
+		s.count("serve.cache.spotcheck")
+		fresh, herr := s.executeMode(ctx, spec, true)
+		switch {
+		case herr != nil:
+			s.count("serve.cache.spotcheck.skip")
+		case fresh.Receipt.Fingerprint != cr.Receipt.Fingerprint:
+			s.count("serve.cache.spotcheck.mismatch")
+			s.cache.Remove(key)
+			return fresh, nil
+		}
+	}
+	return cr.result(), nil
+}
+
+// enqueue runs one job through admission and waits for its outcome: the
+// tail of every execution path, cached or not.
+func (s *Server) enqueue(ctx context.Context, spec Spec, kind *Kind, key rescache.Key, store, recheck bool, timeout time.Duration) (*JobResult, *httpError) {
 	now := time.Now()
 	j := &job{
 		spec:     spec,
 		kind:     kind,
 		deadline: now.Add(timeout),
 		admitted: now,
+		ckey:     key,
+		store:    store,
+		recheck:  recheck,
 		done:     make(chan jobOutcome, 1),
 	}
 
@@ -261,6 +399,16 @@ func (s *Server) runJob(wid int, j *job) (out jobOutcome) {
 		s.met.Counter("serve.timeout").Add(tid, 1)
 		return jobOutcome{err: errf(http.StatusGatewayTimeout,
 			"job %s exceeded its deadline while queued", j.spec)}
+	}
+	if j.recheck {
+		if v, ok := s.cache.Get(j.ckey); ok {
+			// Queued-then-cached: the result landed (via a verify or
+			// spot-check re-execution) while this job waited for a worker.
+			// Serving the resident copy keeps the one-execution-per-spec
+			// property instead of running the same pure function twice.
+			s.met.Counter("serve.cache.hit_queued").Add(tid, 1)
+			return jobOutcome{res: v.(*cachedResult).result()}
+		}
 	}
 	ent, err := s.inputs.get(j.kind, j.spec.Scale, j.spec.Seed)
 	if err != nil {
@@ -323,6 +471,19 @@ func (s *Server) runJob(wid int, j *job) (out jobOutcome) {
 		if err := sink.WriteChromeTrace(&buf); err == nil {
 			res.Trace = json.RawMessage(buf.Bytes())
 		}
+	}
+	if j.store {
+		// Store before delivering the outcome: once the submitter (or a
+		// flight follower) sees the receipt, the cache already has it, so
+		// an immediate identical resubmission is a guaranteed hit.
+		cr := &cachedResult{
+			Receipt: res.Receipt,
+			WallNS:  res.WallNS,
+			Commits: res.Commits,
+			Aborts:  res.Aborts,
+			Rounds:  res.Rounds,
+		}
+		s.cache.Put(j.ckey, cr, cr.size())
 	}
 	return jobOutcome{res: res}
 }
@@ -421,7 +582,9 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errf(http.StatusBadRequest, "receipt has no fingerprint"))
 		return
 	}
-	res, herr := s.execute(r.Context(), rcpt.Spec)
+	// Verification bypasses the cache and the singleflight join: a
+	// receipt is only a proof because /verify reaches a real engine run.
+	res, herr := s.executeMode(r.Context(), rcpt.Spec, true)
 	if herr != nil {
 		writeError(w, herr)
 		return
@@ -450,6 +613,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&buf, "serve.pool.transients %d\n", pc.Transients)
 	fmt.Fprintf(&buf, "serve.queue.depth %d\n", len(s.queue))
 	fmt.Fprintf(&buf, "serve.queue.cap %d\n", s.cfg.QueueDepth)
+	if s.cache != nil {
+		cc := s.cache.Counters()
+		fmt.Fprintf(&buf, "serve.rescache.hits %d\n", cc.Hits)
+		fmt.Fprintf(&buf, "serve.rescache.misses %d\n", cc.Misses)
+		fmt.Fprintf(&buf, "serve.rescache.stores %d\n", cc.Stores)
+		fmt.Fprintf(&buf, "serve.rescache.evictions %d\n", cc.Evictions)
+		fmt.Fprintf(&buf, "serve.rescache.rejects %d\n", cc.Rejects)
+		fmt.Fprintf(&buf, "serve.rescache.entries %d\n", cc.Entries)
+		fmt.Fprintf(&buf, "serve.rescache.bytes_resident %d\n", cc.Bytes)
+		fmt.Fprintf(&buf, "serve.rescache.bytes_budget %d\n", cc.Budget)
+	}
 	_, _ = w.Write(buf.Bytes())
 }
 

@@ -51,6 +51,13 @@ type Receipt struct {
 	Spec          Spec   `json:"spec"`
 	Fingerprint   string `json:"fingerprint"` // %016x
 	Deterministic bool   `json:"deterministic"`
+	// Cached reports that this response was served from the result cache
+	// rather than a fresh execution. It describes transport, not identity:
+	// it is excluded from verification (POST /verify compares fingerprints
+	// only) and must never flow into a fingerprint — detlint's taintfp
+	// pass treats any read of a Cached field as tainted, so the compiler
+	// of receipts cannot launder serving metadata into a proof.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // JobResult is the full POST /jobs response: the receipt plus run

@@ -42,6 +42,37 @@ echo "serve-smoke: galoisd on $addr"
     -variants g-n,g-d,g-dnc -clients 1,4 -n 6 \
     -scale small -threads 2 -verify 3 -report "$report"
 
+# Warm-cache phase: the same deterministic spec submitted twice must hit
+# the result cache on the resubmission — identical spec and fingerprint,
+# cached:true on the second response only, hit counter advanced. The
+# seed is outside galoisload's range so the first submission is cold.
+echo "serve-smoke: warm-cache check"
+spec='{"kind":"bfs","variant":"g-d","scale":"small","seed":7070,"threads":2}'
+r1=$(curl -sf -X POST "http://$addr/jobs" -d "$spec")
+hits_before=$(curl -sf "http://$addr/metrics" | sed -n 's/^serve\.rescache\.hits //p')
+r2=$(curl -sf -X POST "http://$addr/jobs" -d "$spec")
+hits_after=$(curl -sf "http://$addr/metrics" | sed -n 's/^serve\.rescache\.hits //p')
+fp1=$(printf '%s' "$r1" | sed -n 's/.*"fingerprint":"\([0-9a-f]*\)".*/\1/p')
+fp2=$(printf '%s' "$r2" | sed -n 's/.*"fingerprint":"\([0-9a-f]*\)".*/\1/p')
+sp1=$(printf '%s' "$r1" | sed -n 's/.*"spec":\({[^}]*}\).*/\1/p')
+sp2=$(printf '%s' "$r2" | sed -n 's/.*"spec":\({[^}]*}\).*/\1/p')
+case "$r1" in
+*'"cached":true'*) echo "serve-smoke: first submission unexpectedly cached" >&2; exit 1 ;;
+esac
+case "$r2" in
+*'"cached":true'*) ;;
+*) echo "serve-smoke: resubmission not served from cache: $r2" >&2; exit 1 ;;
+esac
+if [ -z "$fp1" ] || [ "$fp1" != "$fp2" ] || [ "$sp1" != "$sp2" ]; then
+    echo "serve-smoke: cached receipt differs from fresh (fp $fp1 vs $fp2)" >&2
+    exit 1
+fi
+if [ -z "$hits_after" ] || [ "${hits_before:-0}" -ge "$hits_after" ]; then
+    echo "serve-smoke: cache hit counter did not advance ($hits_before -> $hits_after)" >&2
+    exit 1
+fi
+echo "serve-smoke: warm-cache ok (fp $fp1, hits $hits_before -> $hits_after)"
+
 echo "serve-smoke: draining galoisd"
 kill -TERM "$server_pid"
 wait "$server_pid"
