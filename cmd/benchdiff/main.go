@@ -36,6 +36,15 @@
 // against every old entry sharing (app, variant, threads, scale) whatever
 // the mode — hard-failing on drift — while wall time and allocations are
 // skipped across modes, where they measure different things.
+//
+// Mode "serve-session" entries are the exception to cross-mode policing:
+// their fingerprint column carries a receipt-chain hash (a function of the
+// whole mutation history), not a single run's result fingerprint, so they
+// are never compared against one-shot entries of the same cell. They form
+// their own sweep groups instead — all serve-session entries of one
+// (app, variant, scale, chain_len) cell must agree on the final chain
+// hash whatever the thread count or client level — and drift on an exactly
+// matched key is fatal like any other entry (chain_len is part of the key).
 package main
 
 import (
@@ -87,6 +96,11 @@ func sweepCheck(b *obs.Bench) ([]change, int) {
 			continue
 		}
 		k := fmt.Sprintf("%s/%s scale=%s", e.App, e.Variant, e.Scale)
+		if e.Mode == "serve-session" {
+			// Chain hashes only compare against chain hashes of the same
+			// length — never against one-shot result fingerprints.
+			k = fmt.Sprintf("%s session l%d", k, e.ChainLen)
+		}
 		if _, ok := groups[k]; !ok {
 			order = append(order, k)
 		}
@@ -120,7 +134,11 @@ func diff(old, new *obs.Bench, wallThreshold float64) report {
 	oldByCell := make(map[string][]obs.BenchEntry, len(old.Entries))
 	for _, e := range old.Entries {
 		oldByKey[e.Key()] = e
-		oldByCell[e.ModelessKey()] = append(oldByCell[e.ModelessKey()], e)
+		// serve-session fingerprints are chain hashes; they never join the
+		// cross-mode pool (either side).
+		if e.Mode != "serve-session" {
+			oldByCell[e.ModelessKey()] = append(oldByCell[e.ModelessKey()], e)
+		}
 	}
 	r.allocsChecked = old.HasAllocs() && new.HasAllocs()
 	seen := make(map[string]bool, len(new.Entries))
@@ -136,7 +154,7 @@ func diff(old, new *obs.Bench, wallThreshold float64) report {
 			// regardless of mode. Wall and allocs are not comparable across
 			// modes (request latency vs scheduler wall time), so only the
 			// behavior contract is enforced here.
-			if ne.Sched != "nondet" && ne.Fingerprint != "" {
+			if ne.Sched != "nondet" && ne.Fingerprint != "" && ne.Mode != "serve-session" {
 				for _, ce := range oldByCell[ne.ModelessKey()] {
 					if ce.Sched == "nondet" || ce.Fingerprint == "" {
 						continue

@@ -251,6 +251,81 @@ func TestDiffRepeatRatesAreDistinctKeys(t *testing.T) {
 	}
 }
 
+// sessionEntry is a mode-"serve-session" measurement: the fingerprint is
+// the session's final chain hash and chain_len joins the key.
+func sessionEntry(app string, threads, chainLen int, wall int64, fp string) obs.BenchEntry {
+	return obs.BenchEntry{App: app, Variant: "g-d", Sched: "det", Threads: threads,
+		Scale: "small", WallNS: wall, Mode: "serve-session", Clients: 4,
+		ChainLen: chainLen, Fingerprint: fp}
+}
+
+func TestDiffServeSessionMatchedKeyDrift(t *testing.T) {
+	// The acceptance gate: the final chain hash of a matched serve-session
+	// key (same app/variant/threads/scale/clients/chain_len) must not move
+	// between trajectory files.
+	old := bench(sessionEntry("dmr", 2, 4, 1000, "chainA"))
+	r := diff(old, bench(sessionEntry("dmr", 2, 4, 1000, "chainA")), 0.10)
+	if r.compared != 1 || len(r.behaviorChanges) != 0 {
+		t.Fatalf("identical serve-session entries flagged: %+v", r)
+	}
+	r = diff(old, bench(sessionEntry("dmr", 2, 4, 1000, "chainB")), 0.10)
+	if len(r.behaviorChanges) != 1 {
+		t.Fatalf("serve-session chain drift on matched key not flagged: %+v", r)
+	}
+}
+
+func TestDiffServeSessionExcludedFromCrossMode(t *testing.T) {
+	// A chain hash is a function of the whole mutation history — it will
+	// never equal a one-shot result fingerprint of the same cell, and that
+	// is not drift. Both directions must stay silent.
+	old := bench(entry("dmr", 100, 50, "", "aa"), serveEntry("dmr", 900, 8, "aa"))
+	r := diff(old, bench(sessionEntry("dmr", 2, 4, 1000, "chainA")), 0.10)
+	if r.crossChecked != 0 || len(r.behaviorChanges) != 0 {
+		t.Fatalf("serve-session entry joined the cross-mode pool: %+v", r)
+	}
+	// Reverse direction: an old serve-session entry must not police a new
+	// one-shot entry of the same cell.
+	old = bench(sessionEntry("dmr", 2, 4, 1000, "chainA"))
+	r = diff(old, bench(entry("dmr", 100, 50, "", "aa")), 0.10)
+	if r.crossChecked != 0 || len(r.behaviorChanges) != 0 {
+		t.Fatalf("old serve-session entry policed a one-shot entry: %+v", r)
+	}
+}
+
+func TestDiffServeSessionSweepGroup(t *testing.T) {
+	// In-file: serve-session entries of one (app, variant, scale,
+	// chain_len) cell must agree on the final chain across thread counts —
+	// that is the chain's portability property — while sitting in the same
+	// file as one-shot entries of the same app without colliding with them.
+	oneShot := threadEntry("dmr", 1, 100, "aa")
+	consistent := bench(oneShot,
+		sessionEntry("dmr", 1, 4, 1200, "chainA"),
+		sessionEntry("dmr", 4, 4, 600, "chainA"))
+	r := diff(bench(), consistent, 0.10)
+	if len(r.behaviorChanges) != 0 {
+		t.Fatalf("consistent serve-session sweep flagged: %+v", r.behaviorChanges)
+	}
+	if r.sweepChecked != 1 {
+		t.Fatalf("sweep cells checked = %d, want 1 (the session pair)", r.sweepChecked)
+	}
+
+	drifted := bench(oneShot,
+		sessionEntry("dmr", 1, 4, 1200, "chainA"),
+		sessionEntry("dmr", 4, 4, 600, "chainX"))
+	r = diff(bench(), drifted, 0.10)
+	if len(r.behaviorChanges) != 1 {
+		t.Fatalf("cross-thread serve-session chain drift not flagged exactly once: %+v", r.behaviorChanges)
+	}
+
+	// Different chain lengths are different measurements, not drift.
+	lengths := bench(
+		sessionEntry("dmr", 1, 4, 1200, "chainA"),
+		sessionEntry("dmr", 1, 9, 2400, "chainLonger"))
+	if r := diff(bench(), lengths, 0.10); len(r.behaviorChanges) != 0 {
+		t.Fatalf("chain-length difference flagged as drift: %+v", r.behaviorChanges)
+	}
+}
+
 func TestDiffSweepIgnoresNondet(t *testing.T) {
 	// Nondet fingerprints legitimately differ across thread counts.
 	a := threadEntry("bfs", 1, 100, "aa")

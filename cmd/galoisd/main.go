@@ -12,13 +12,26 @@
 // "cached": true. -cache-spotcheck re-executes a seeded deterministic
 // fraction of hits through the verify path and evicts on any mismatch.
 //
+// Stateful sessions make mutation a first-class API: POST /sessions pins
+// a long-lived mutable input (a dmr mesh, an sssp graph) server-side,
+// POST /sessions/{id}/batches applies deterministic mutation batches
+// against it, and every batch receipt extends a hash chain —
+// POST /sessions/{id}/verify replays the whole chain from the recorded
+// initial spec and checks it, optionally against the client's last
+// receipt alone. Idle sessions are evicted after -session-idle with a
+// tombstone link sealing the chain.
+//
 //	galoisd -addr :8090
 //	curl -s localhost:8090/jobs -d '{"kind":"bfs","variant":"g-d","scale":"small"}'
 //	curl -s localhost:8090/verify -d "$receipt"
+//	curl -s localhost:8090/sessions -d '{"kind":"dmr","scale":"small","seed":42}'
 //
 // Endpoints: POST /jobs, POST /verify, GET /metrics, GET /kinds,
-// GET /healthz. SIGINT/SIGTERM drain in-flight and queued jobs before
-// exiting; new submissions are rejected with 503 while draining.
+// GET /healthz, POST /sessions, GET|DELETE /sessions/{id},
+// POST /sessions/{id}/batches, POST /sessions/{id}/verify.
+// SIGINT/SIGTERM drain in-flight and queued work — session batches
+// included — before exiting; new submissions are rejected with 503 while
+// draining.
 package main
 
 import (
@@ -46,6 +59,8 @@ func main() {
 	drain := flag.Duration("drain", 2*time.Minute, "shutdown grace period for draining admitted jobs")
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result-cache byte budget; repeat det specs are served from cache at lookup speed (0 disables)")
 	spotCheck := flag.Float64("cache-spotcheck", 0, "fraction of cache hits re-executed through the verify path as an honesty check (deterministic seeded selection; 0 disables, 1 checks every hit)")
+	sessionIdle := flag.Duration("session-idle", 10*time.Minute, "evict sessions with no batch for this long, sealing a tombstone link (0 disables)")
+	maxSessions := flag.Int("max-sessions", 64, "cap on live (un-evicted) sessions; creation beyond it gets 429")
 	flag.Parse()
 
 	s := serve.NewServer(serve.Config{
@@ -56,6 +71,8 @@ func main() {
 		DefaultTimeout: *timeout,
 		CacheBytes:     *cacheBytes,
 		CacheSpotCheck: *spotCheck,
+		SessionIdle:    *sessionIdle,
+		MaxSessions:    *maxSessions,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -7,6 +7,14 @@
 //	galoisload -addr localhost:8090 -clients 1,8 -n 3 -verify 3
 //	galoisload -inprocess -scale small -bench-json BENCH.json
 //	galoisload -inprocess -repeat-rate 0,0.5,0.9 -n 30
+//	galoisload -inprocess -sessions 4 -batches 3
+//
+// -sessions adds a stateful-session phase: N concurrent clients each
+// create a session, drive -batches chained mutation batches from a
+// per-client partitioned seeded stream, and audit the resulting receipt
+// chain through POST /sessions/{id}/verify. Bench entries carry Mode
+// "serve-session" with the chain length as a key column and the final
+// chain hash as the fingerprint.
 //
 // -repeat-rate switches to a workload mix that sweeps galoisd's result
 // cache: each request draws (from a partitioned seeded stream) either a
@@ -52,6 +60,10 @@ func main() {
 	zipfS := flag.Float64("zipf-s", 1.1, "zipf exponent of the hot-spec popularity distribution (with -repeat-rate)")
 	hotSpecs := flag.Int("hot-specs", 8, "hot seeds per cell for the repeat mix (with -repeat-rate)")
 	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result-cache byte budget of the -inprocess server (0 disables caching)")
+	sessionsN := flag.Int("sessions", 0, "run a stateful-session phase with N concurrent session clients (0 disables)")
+	batchesN := flag.Int("batches", 3, "chained mutation batches per session (with -sessions)")
+	sessionKinds := flag.String("session-kinds", "", "comma-separated session kinds (default: every kind the server registers)")
+	sessionVariant := flag.String("session-variant", "g-d", "session scheduler variant: g-d|g-dnc")
 	flag.Parse()
 
 	var repeatRates []float64
@@ -196,6 +208,43 @@ func main() {
 			for _, e := range rep.BenchEntries(cfg) {
 				bench.Add(e)
 			}
+		}
+	}
+
+	if *sessionsN > 0 {
+		cfg := serve.SessionLoadConfig{
+			Kinds: splitCSV(*sessionKinds), Variant: *sessionVariant,
+			Sessions: *sessionsN, Batches: *batchesN,
+			Scale: *scale, Seed: *seed, Threads: *threads, TimeoutMS: *timeoutMS,
+		}
+		start := time.Now()
+		rep, err := serve.RunSessionLoad(ctx, c, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "galoisload: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("sessions=%-3d batches=%-3d ok=%-4d rejected=%-3d errors=%-3d wall=%v\n",
+			rep.Sessions, rep.Batches, rep.OK, rep.Rejected, rep.Errors,
+			time.Since(start).Round(time.Millisecond))
+		for _, v := range rep.VerifyFailures {
+			fmt.Printf("  CHAIN VERIFY FAILURE %s\n", v)
+			failed = true
+		}
+		if rep.Errors > 0 {
+			for _, e := range rep.ErrorSamples {
+				fmt.Printf("  error: %s\n", e)
+			}
+			failed = true
+		}
+		for _, cs := range rep.Cells {
+			fmt.Printf("  session %-6s n=%-2d chain_len=%-3d median=%-10v max=%-10v chain=%.16s…\n",
+				cs.Kind, cs.Sessions, cs.ChainLen,
+				time.Duration(cs.MedianNS).Round(time.Microsecond),
+				time.Duration(cs.MaxNS).Round(time.Microsecond), cs.FinalChain)
+		}
+		//detlint:ignore taintfp bench entries report measured latency beside chain hashes, which the runtime computed deterministically
+		for _, e := range rep.BenchEntries(cfg) {
+			bench.Add(e)
 		}
 	}
 

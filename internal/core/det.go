@@ -66,6 +66,19 @@ func runDeterministic[T any](e *Engine, st *engState[T], items []T, body func(*C
 	r.runAll(e.pool)
 	st.free.put(r.gen.arena)
 	r.release()
+
+	// inspectTask/execTask swap task-owned scratch through the contexts, so
+	// after the run each ctx still aliases the last task buffer it touched.
+	// Those buffers live in the generation arena and are handed out to
+	// *other* workers on the next run (a retried task moves between
+	// workers), and the nondeterministic scheduler treats a leftover
+	// ctx.acquired/children as private scratch ([:0] + append). A surviving
+	// alias therefore lets two workers grow one backing array concurrently.
+	// Sever the aliases here; the capacity stays with the arena tasks.
+	for _, ctx := range st.ctxs[:nthreads] {
+		ctx.acquired = nil
+		ctx.children = nil
+	}
 }
 
 // inspectTask runs one task up to (through) its failsafe point in inspect
@@ -98,6 +111,13 @@ func inspectTask[T any](ctx *Ctx[T], t *detTask[T], body func(*Ctx[T], T), tid i
 // commits it. Either way it clears the marks t still owns, so every mark is
 // unowned again by the end of the phase.
 func execTask[T any](ctx *Ctx[T], t *detTask[T], body func(*Ctx[T], T), tid int, continuation bool) {
+	// Two branches below (prevented, and committed-without-commitFn) never
+	// reset the ctx, yet the mark-clearing epilogue flushes the atomic-op
+	// count through ctx.tid-sharded collector slots. Exec chunks are
+	// claimed dynamically, so a worker can reach its first exec task of a
+	// run on a ctx that was never reset (a fresh ctx carries tid 0) and
+	// would flush into another worker's shard. Pin the tid up front.
+	ctx.tid = tid
 	if continuation {
 		// §3.3: the prevented flag subsumes mark re-validation — it
 		// is set iff some location of t ended up owned by a higher id.

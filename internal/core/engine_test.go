@@ -297,3 +297,32 @@ func TestEngineConcurrentRunPanics(t *testing.T) {
 		t.Fatalf("engine unusable after guarded rejection: %+v", st)
 	}
 }
+
+// TestDetRunSeversCtxScratchAliases pins the fix for a det→nondet engine
+// reuse race. inspectTask swaps task-owned scratch through the contexts, so
+// without severing, each ctx would leave a deterministic run still aliasing
+// the last task buffer it touched — memory in the generation arena that
+// later runs hand to *other* workers (a retried task migrates between
+// workers). The nondeterministic scheduler treats leftover ctx scratch as
+// private ([:0] + append), so a surviving alias lets two workers grow one
+// backing array concurrently. The white-box check asserts every det run
+// leaves no alias behind; the alternating det/nondet reuse below is the
+// integration surface the race detector watches.
+func TestDetRunSeversCtxScratchAliases(t *testing.T) {
+	const threads = 4
+	eng := NewEngine(threads)
+	defer eng.Close()
+	detOpt := optsFor(Deterministic, threads, func(o *Options) { o.Engine = eng })
+	nonOpt := optsFor(NonDeterministic, threads, func(o *Options) { o.Engine = eng })
+	for run := 0; run < 3; run++ {
+		conflictRun(t, detOpt)
+		st := stateFor[int](eng)
+		for i, ctx := range st.ctxs {
+			if ctx.acquired != nil || ctx.children != nil {
+				t.Fatalf("run %d: ctx %d still aliases task scratch (acquired cap %d, children cap %d)",
+					run, i, cap(ctx.acquired), cap(ctx.children))
+			}
+		}
+		conflictRun(t, nonOpt)
+	}
+}

@@ -1,10 +1,12 @@
 package inputs
 
 import (
+	"galois/internal/apps/dmr"
 	"galois/internal/apps/msf"
 	"galois/internal/apps/pfp"
 	"galois/internal/geom"
 	"galois/internal/graph"
+	"galois/internal/mesh"
 )
 
 // The builders below are the single source of truth for how a (sizes,
@@ -32,6 +34,14 @@ func PFPNetwork(n, degree int, seed uint64) *pfp.Network {
 // graph with weights in [1, maxW], seeded at seed+3.
 func SSSPGraph(n, degree int, maxW uint32, seed uint64) *graph.Weighted {
 	return graph.RandomWeighted(n, degree, maxW, seed+3)
+}
+
+// DMRMesh is the mesh-refinement input family: the Delaunay triangulation
+// of n shrunken uniform points, seeded at seed+4 — the same derivation the
+// harness runs (dmr.MakeInput at sc.Seed+4). Refinement mutates the mesh
+// in place, so consumers that need a pristine mesh must call this again.
+func DMRMesh(n int, seed uint64) *mesh.Element {
+	return dmr.MakeInput(n, seed+4)
 }
 
 // MSFEdges is the spanning-forest input family: unique-key weighted edges

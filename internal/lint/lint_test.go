@@ -107,6 +107,14 @@ func TestFailsafePass(t *testing.T)   { checkFixture(t, "failsafe") }
 func TestCommitPurePass(t *testing.T) { checkFixture(t, "commitpure") }
 func TestTaintFPPass(t *testing.T)    { checkFixture(t, "taintfp") }
 
+// TestSessionScopeFixture pins the analyzer's coverage of the session
+// layer's proof object: map-iteration order leaking into a chain hash is
+// flagged (maprange at the loop, taintfp at the sink — including through
+// an intermediate payload slice), while the real package's discipline —
+// an insertion-ordered ids slice driving every sweep with the map demoted
+// to lookups — produces no findings.
+func TestSessionScopeFixture(t *testing.T) { checkFixture(t, "sessionscope") }
+
 // TestPersistentWorkerPoolFixture pins the analyzer's coverage of the
 // engine's persistent-worker substrate (internal/para.Pool): an
 // unannotated parked-worker spawn is still a goroutineorder finding, and

@@ -1,0 +1,88 @@
+// Package sessionscope models the internal/session situation: a session
+// manager holds a map of live sessions whose receipts form a hash chain.
+// Any map-iteration order leaking into a chain hash would make replay
+// verification fail nondeterministically — the chain is the proof object,
+// so the taint pass must catch the leak even through helper calls. The
+// discipline the real package follows (an ordered ids slice drives every
+// sweep; the map is lookup-only) is the clean path proven below.
+package sessionscope
+
+import "crypto/sha256"
+
+type link struct {
+	Chain [32]byte
+}
+
+type sess struct {
+	id   string
+	head [32]byte
+}
+
+type manager struct {
+	sessions map[string]*sess
+	ids      []string // insertion-ordered; the deterministic sweep axis
+}
+
+// chainHash is the link function — a fingerprint sink.
+func chainHash(prev [32]byte, payload []byte) [32]byte {
+	h := sha256.New()
+	h.Write(prev[:])
+	h.Write(payload)
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// sealAllUnordered folds every session's head into one digest by ranging
+// the map: two identical managers would disagree on the digest. This is
+// exactly the bug the session package must never contain.
+func sealAllUnordered(m *manager) [32]byte {
+	var acc [32]byte
+	for _, s := range m.sessions { // want maprange
+		acc = chainHash(acc, s.head[:]) // want taintfp
+	}
+	return acc
+}
+
+// collectIDsForPayload gathers map keys into a payload that reaches the
+// chain hash through a local: the taint survives the intermediate slice.
+func collectIDsForPayload(m *manager, prev [32]byte) link {
+	var payload []byte
+	for id := range m.sessions { // want maprange
+		payload = append(payload, id...)
+	}
+	return link{Chain: chainHash(prev, payload)} // want taintfp
+}
+
+// sealAllOrdered is the real package's discipline: the insertion-ordered
+// ids slice drives the sweep, the map is only a lookup. No findings.
+func sealAllOrdered(m *manager) [32]byte {
+	var acc [32]byte
+	for _, id := range m.ids {
+		s := m.sessions[id]
+		acc = chainHash(acc, s.head[:])
+	}
+	return acc
+}
+
+// evictIdleOrdered mirrors Manager.EvictIdle: iterate the ordered slice,
+// look sessions up by id, seal a tombstone per eviction. Clean.
+func evictIdleOrdered(m *manager, tomb []byte) []link {
+	var out []link
+	for _, id := range m.ids {
+		s := m.sessions[id]
+		out = append(out, link{Chain: chainHash(s.head, tomb)})
+	}
+	return out
+}
+
+// countLive may range the map freely: control flow and counters carry no
+// order, and nothing here reaches a sink.
+func countLive(m *manager) int {
+	n := 0
+	//detlint:ordered live-count is order-independent bookkeeping, never hashed
+	for range m.sessions {
+		n++
+	}
+	return n
+}

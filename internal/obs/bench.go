@@ -66,6 +66,13 @@ type BenchEntry struct {
 	// the key — the same cell under different repeat rates is a different
 	// latency measurement.
 	RepeatPermille int `json:"repeat_permille,omitempty"`
+	// ChainLen is the receipt-chain length of a Mode "serve-session"
+	// entry (galoisload -sessions): genesis plus the mutation batches the
+	// measured session ran. Part of the key — the fingerprint of a
+	// serve-session entry is the session's final chain hash, which is a
+	// pure function of (init spec, batch sequence), so entries are only
+	// comparable at equal chain length.
+	ChainLen int `json:"chain_len,omitempty"`
 	// AllocsPerOp/BytesPerOp are heap allocations and bytes per run
 	// (runtime mallocs, measured around the whole run; 0 = not measured).
 	AllocsPerOp uint64 `json:"allocs_per_op,omitempty"`
@@ -82,6 +89,9 @@ func (e BenchEntry) Key() string {
 	}
 	if e.RepeatPermille > 0 {
 		k += fmt.Sprintf("/r%d", e.RepeatPermille)
+	}
+	if e.ChainLen > 0 {
+		k += fmt.Sprintf("/l%d", e.ChainLen)
 	}
 	return k
 }
@@ -130,7 +140,10 @@ func (b *Bench) Sort() {
 		if a.Clients != c.Clients {
 			return a.Clients < c.Clients
 		}
-		return a.RepeatPermille < c.RepeatPermille
+		if a.RepeatPermille != c.RepeatPermille {
+			return a.RepeatPermille < c.RepeatPermille
+		}
+		return a.ChainLen < c.ChainLen
 	})
 }
 

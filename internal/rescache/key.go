@@ -34,6 +34,11 @@ import (
 // alias.
 const keyVersion = 1
 
+// linkKeyVersion leads session-link key preimages; a distinct constant so
+// a link key can never alias a one-shot job key even if their payloads
+// coincide byte-for-byte.
+const linkKeyVersion = 2
+
 // ErrNondeterministic is returned by KeyOf for g-n specs: a speculative
 // run's output depends on scheduling, so it has no content address.
 var ErrNondeterministic = errors.New("rescache: non-deterministic (g-n) specs have no cache key")
@@ -86,6 +91,33 @@ func KeyOf(kind, variant, scale string, seed uint64, threads int) (Key, error) {
 	h.Write(buf[:8])
 	n := binary.PutUvarint(buf[:], uint64(threads))
 	h.Write(buf[:n])
+	var k Key
+	h.Sum(k[:0])
+	return k, nil
+}
+
+// KeyOfLink addresses one session mutation batch by its chain prefix: the
+// raw chain hash of the preceding link plus the batch's canonical
+// encoding. This is what makes session results cacheable at all — a chain
+// hash transitively covers the init spec and every batch before this one,
+// so (prev, canon) pins the exact state the batch runs against, and the
+// link it produces is a pure function of the pair. Session *creation* has
+// no such key: a session is addressed by identity (its id), not content.
+//
+// prev must be a raw chain hash (sha256.Size bytes) and canon non-empty;
+// both arrive pre-validated from internal/session.
+func KeyOfLink(prev []byte, canon []byte) (Key, error) {
+	if len(prev) != sha256.Size || len(canon) == 0 {
+		return Key{}, fmt.Errorf("rescache: malformed link key preimage (prev=%d bytes, canon=%d bytes)",
+			len(prev), len(canon))
+	}
+	h := sha256.New()
+	var buf [binary.MaxVarintLen64]byte
+	h.Write([]byte{linkKeyVersion})
+	h.Write(prev)
+	n := binary.PutUvarint(buf[:], uint64(len(canon)))
+	h.Write(buf[:n])
+	h.Write(canon)
 	var k Key
 	h.Sum(k[:0])
 	return k, nil

@@ -57,6 +57,50 @@ func TestKeyOfRejectsNondeterministic(t *testing.T) {
 	}
 }
 
+func TestKeyOfLink(t *testing.T) {
+	prev := make([]byte, 32)
+	prev2 := make([]byte, 32)
+	prev2[31] = 1
+	canon := []byte{1, 'r', 'e', 'f'}
+
+	a, err := KeyOfLink(prev, canon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := KeyOfLink(prev, canon)
+	if err != nil || a != b {
+		t.Fatalf("identical preimages hashed apart: %s vs %s (%v)", a, b, err)
+	}
+	// Both the chain prefix and the batch payload must move the key.
+	if k, _ := KeyOfLink(prev2, canon); k == a {
+		t.Fatal("prev does not move the link key")
+	}
+	if k, _ := KeyOfLink(prev, []byte{1, 'r', 'e', 'g'}); k == a {
+		t.Fatal("canon does not move the link key")
+	}
+	// Link keys live in the same cache as spec keys (KeyOf) — the version
+	// byte must keep the two preimage spaces apart. A spec key's preimage
+	// can't be forged from (prev, canon) anyway, but cheap insurance.
+	if spec := mustKey(t, "bfs", "g-d", "small", 42, 2); spec == a {
+		t.Fatal("link key collided with a spec key")
+	}
+
+	for _, bad := range []struct {
+		prev, canon []byte
+	}{
+		{nil, canon},
+		{prev[:31], canon},
+		{append(prev, 0), canon},
+		{prev, nil},
+		{prev, []byte{}},
+	} {
+		if _, err := KeyOfLink(bad.prev, bad.canon); err == nil {
+			t.Errorf("KeyOfLink(%d-byte prev, %d-byte canon): expected error",
+				len(bad.prev), len(bad.canon))
+		}
+	}
+}
+
 func TestKeyOfRejectsUnnormalized(t *testing.T) {
 	cases := []struct {
 		kind, variant, scale string

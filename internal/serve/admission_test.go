@@ -22,7 +22,7 @@ func TestQueueFullRejects(t *testing.T) {
 	<-started // A is running
 	resB := make(chan error, 1)
 	go func() { _, err := c.Submit(ctx, spec); resB <- err }()
-	waitFor(t, func() bool { return len(s.queue) == 1 }) // B is queued
+	waitFor(t, func() bool { return len(s.exec.queue) == 1 }) // B is queued
 
 	_, err := c.Submit(ctx, spec)
 	ae, ok := err.(*APIError)

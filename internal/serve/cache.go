@@ -60,9 +60,13 @@ func (cr *cachedResult) result() *JobResult {
 // cacheKey computes the content address of a normalized spec and reports
 // whether its result may be cached at all: deterministic variants only
 // (g-n output is not a function of the spec), shared read-only inputs only
-// (Exclusive kinds — pfp's mutable network — stay uncacheable until
-// sessions land), untraced requests only (a trace is a capture of one
-// execution, not part of the result), and only when a cache is configured.
+// (Exclusive kinds — pfp's mutable network, dmr's consumed mesh — reset
+// state between runs, and a one-shot cache entry would skip exactly that
+// reset; mutation-as-a-workload belongs to sessions, where batch results
+// are keyed by chain prefix and cross-checked, never served — see
+// checkLinkCache), untraced requests only (a trace
+// is a capture of one execution, not part of the result), and only when a
+// cache is configured.
 func (s *Server) cacheKey(spec Spec, kind *Kind) (rescache.Key, bool) {
 	if s.cache == nil || !spec.Deterministic() || kind.Exclusive || spec.Trace {
 		return rescache.Key{}, false

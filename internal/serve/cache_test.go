@@ -229,7 +229,7 @@ func TestQueuedThenCachedDoesNotDoubleExecute(t *testing.T) {
 		}
 		resCh <- res
 	}()
-	for len(s.queue) == 0 { // wait until the job is admitted behind the gate
+	for len(s.exec.queue) == 0 { // wait until the job is admitted behind the gate
 		runtime.Gosched()
 	}
 	injected := &cachedResult{Receipt: Receipt{Spec: spec, Fingerprint: "00000000feedface", Deterministic: true}}
@@ -250,7 +250,7 @@ func TestQueuedThenCachedDoesNotDoubleExecute(t *testing.T) {
 	if got := poolCheckouts(s); got != checkoutsBefore {
 		t.Fatalf("queued-then-cached job executed anyway: checkouts %d -> %d", checkoutsBefore, got)
 	}
-	if v := s.met.Counter("serve.cache.hit_queued").Value(); v != 1 {
+	if v := s.exec.met.Counter("serve.cache.hit_queued").Value(); v != 1 {
 		t.Fatalf("serve.cache.hit_queued = %d, want 1", v)
 	}
 }
@@ -277,7 +277,7 @@ func TestSpotCheckMismatchEvicts(t *testing.T) {
 	if _, ok := s.cache.Get(key); ok {
 		t.Fatal("corrupt entry survived the spot-check mismatch")
 	}
-	if v := s.met.Counter("serve.cache.spotcheck.mismatch").Value(); v != 1 {
+	if v := s.exec.met.Counter("serve.cache.spotcheck.mismatch").Value(); v != 1 {
 		t.Fatalf("spotcheck.mismatch = %d, want 1", v)
 	}
 }
@@ -291,10 +291,10 @@ func TestSpotCheckMatchKeepsEntry(t *testing.T) {
 	if !res.Receipt.Cached || res.Receipt.Fingerprint != fresh.Receipt.Fingerprint {
 		t.Fatalf("honest hit not served: cached=%v fp=%s", res.Receipt.Cached, res.Receipt.Fingerprint)
 	}
-	if v := s.met.Counter("serve.cache.spotcheck").Value(); v != 1 {
+	if v := s.exec.met.Counter("serve.cache.spotcheck").Value(); v != 1 {
 		t.Fatalf("spotcheck = %d, want 1", v)
 	}
-	if v := s.met.Counter("serve.cache.spotcheck.mismatch").Value(); v != 0 {
+	if v := s.exec.met.Counter("serve.cache.spotcheck.mismatch").Value(); v != 0 {
 		t.Fatalf("spotcheck.mismatch = %d, want 0", v)
 	}
 	nspec, kind, _ := s.normalize(spec)

@@ -10,6 +10,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"galois/internal/session"
 )
 
 // APIError is a non-2xx server response surfaced to client callers.
@@ -44,17 +46,32 @@ func NewClient(base string, hc *http.Client) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
 }
 
+// BaseURL returns the server base URL the client was constructed with.
+func (c *Client) BaseURL() string { return c.base }
+
 // post sends v as JSON and decodes the 2xx response into out.
 func (c *Client) post(ctx context.Context, path string, v, out any) error {
-	body, err := json.Marshal(v)
+	return c.do(ctx, http.MethodPost, path, v, out)
+}
+
+// do sends v (when non-nil) as JSON via method and decodes the 2xx
+// response into out.
+func (c *Client) do(ctx context.Context, method, path string, v, out any) error {
+	var rd io.Reader
+	if v != nil {
+		body, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
-	if err != nil {
-		return err
+	if v != nil {
+		req.Header.Set("Content-Type", "application/json")
 	}
-	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -95,6 +112,56 @@ func (c *Client) Verify(ctx context.Context, rcpt Receipt) (*VerifyResult, error
 		return nil, err
 	}
 	return &vr, nil
+}
+
+// CreateSession opens a stateful session and returns its info (including
+// the genesis link of the receipt chain).
+func (c *Client) CreateSession(ctx context.Context, is session.InitSpec) (*SessionInfo, error) {
+	var si SessionInfo
+	if err := c.post(ctx, "/sessions", is, &si); err != nil {
+		return nil, err
+	}
+	return &si, nil
+}
+
+// Session fetches a session's info and full receipt chain.
+func (c *Client) Session(ctx context.Context, id string) (*SessionInfo, error) {
+	var si SessionInfo
+	if err := c.do(ctx, http.MethodGet, "/sessions/"+id, nil, &si); err != nil {
+		return nil, err
+	}
+	return &si, nil
+}
+
+// CloseSession evicts a session (sealing a "closed" tombstone link) and
+// returns its final info.
+func (c *Client) CloseSession(ctx context.Context, id string) (*SessionInfo, error) {
+	var si SessionInfo
+	if err := c.do(ctx, http.MethodDelete, "/sessions/"+id, nil, &si); err != nil {
+		return nil, err
+	}
+	return &si, nil
+}
+
+// SessionBatch submits one mutation batch and returns the new chain link.
+func (c *Client) SessionBatch(ctx context.Context, id string, b session.BatchSpec) (*BatchResult, error) {
+	var br BatchResult
+	if err := c.post(ctx, "/sessions/"+id+"/batches", b, &br); err != nil {
+		return nil, err
+	}
+	return &br, nil
+}
+
+// SessionVerify replays a session's chain server-side; finalChain, when
+// non-empty, is additionally checked against the recomputed head (the
+// last-receipt audit).
+func (c *Client) SessionVerify(ctx context.Context, id, finalChain string, threads int) (*session.VerifyOutcome, error) {
+	var out session.VerifyOutcome
+	req := sessionVerifyRequest{FinalChain: finalChain, Threads: threads}
+	if err := c.post(ctx, "/sessions/"+id+"/verify", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // Metrics fetches the plain-text metrics dump.

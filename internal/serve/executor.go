@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"sync"
+
+	"galois"
+	"galois/internal/obs"
+)
+
+// task is one admitted unit of work. Implementations run on a worker
+// goroutine — tid is that worker's metric cell (>= 1; cell 0 is the
+// handler side) — and deliver their own outcome (each task owns a
+// buffered reply channel, so a worker never blocks on a submitter that
+// stopped listening).
+type task interface {
+	run(tid int)
+}
+
+// executor is the execution substrate shared by one-shot jobs and session
+// batches: the bounded admission queue, the worker pool, the engine pool,
+// graceful drain, and the metrics registry. Policy — caching, input
+// resolution, chains — lives above it in Server; the executor only knows
+// how to admit a task and hand it a worker and an engine.
+type executor struct {
+	queueDepth int
+	queue      chan task
+	workers    sync.WaitGroup
+	pool       *EnginePool
+
+	// admitMu orders submissions against shutdown: submitters hold the
+	// read side across the draining check and the queue send, drain holds
+	// the write side while flipping the flag and closing the queue, so no
+	// send can race the close.
+	admitMu    sync.RWMutex
+	isDraining bool
+
+	// met collects serving metrics. Cell 0 is the handler side (guarded
+	// by metMu — handlers run on arbitrary goroutines); cells 1..Workers
+	// are single-writer per worker.
+	met   *obs.Registry
+	metMu sync.Mutex
+}
+
+// newExecutor builds the substrate and starts its workers.
+func newExecutor(workers, queueDepth, engineCap int) *executor {
+	x := &executor{
+		queueDepth: queueDepth,
+		queue:      make(chan task, queueDepth),
+		pool:       NewEnginePool(engineCap),
+		met:        obs.NewRegistry(workers + 1),
+	}
+	x.workers.Add(workers)
+	for w := 0; w < workers; w++ {
+		//detlint:ignore goroutineorder task executors: each task's outcome returns over its own buffered channel and every deterministic result is a pure function of its spec, so worker scheduling never reaches committed output
+		go x.worker(w)
+	}
+	return x
+}
+
+func (x *executor) worker(wid int) {
+	defer x.workers.Done()
+	for t := range x.queue {
+		t.run(wid + 1)
+	}
+}
+
+// count bumps a handler-side counter (metric cell 0, mutex-guarded).
+func (x *executor) count(name string) {
+	c := x.met.Counter(name)
+	x.metMu.Lock()
+	c.Add(0, 1)
+	x.metMu.Unlock()
+}
+
+// admit places t on the queue, or rejects it: 503 while draining, 429
+// with Retry-After when the queue is full. Once admit returns nil the
+// task will run — a queued task is never dropped, even during drain.
+func (x *executor) admit(t task) *httpError {
+	x.admitMu.RLock()
+	defer x.admitMu.RUnlock()
+	if x.isDraining {
+		x.count("serve.reject.draining")
+		return errf(http.StatusServiceUnavailable, "server is draining; not accepting jobs")
+	}
+	select {
+	case x.queue <- t:
+	default:
+		x.count("serve.reject.full")
+		return &httpError{status: http.StatusTooManyRequests,
+			msg: "job queue full", retryAfter: 1}
+	}
+	x.count("serve.admit")
+	return nil
+}
+
+// withEngine checks an engine out of the pool for the duration of fn,
+// with panic containment: a panicking run discards the engine (its
+// retained state is suspect) instead of returning it to the pool, and
+// surfaces as a 500 rather than killing the worker.
+func (x *executor) withEngine(threads, tid int, fn func(eng *galois.Engine, engineHit bool)) (herr *httpError) {
+	eng, transient := x.pool.Get(threads)
+	defer func() {
+		if r := recover(); r != nil {
+			x.pool.Discard(threads, eng, transient)
+			x.met.Counter("serve.panic").Add(tid, 1)
+			herr = errf(http.StatusInternalServerError, "run panicked: %v", r)
+			return
+		}
+		x.pool.Put(threads, eng, transient)
+	}()
+	fn(eng, !transient)
+	return nil
+}
+
+// drain flips admission to draining, lets the workers finish everything
+// already admitted, then closes the engine pool. Returns ctx.Err() if the
+// drain outlives ctx (workers keep draining regardless).
+func (x *executor) drain(ctx context.Context) error {
+	x.admitMu.Lock()
+	if !x.isDraining {
+		x.isDraining = true
+		close(x.queue)
+	}
+	x.admitMu.Unlock()
+
+	done := make(chan struct{})
+	//detlint:ignore goroutineorder shutdown join: signals only that all workers exited; no result flows through it
+	go func() {
+		x.workers.Wait()
+		close(done)
+	}()
+	//detlint:ignore goroutineorder shutdown wait: chooses between "drained" and "caller gave up"; job results are unaffected
+	select {
+	case <-done:
+		x.pool.Drain()
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (x *executor) draining() bool {
+	x.admitMu.RLock()
+	defer x.admitMu.RUnlock()
+	return x.isDraining
+}
+
+// schedOpts translates a normalized (variant, threads) pair plus a
+// checked-out engine into scheduler options — the single translation
+// point for every execution path (one-shot jobs, session batches, chain
+// replays).
+func schedOpts(variant string, threads int, eng *galois.Engine, sink *galois.Trace) []galois.Option {
+	opts := []galois.Option{galois.WithEngine(eng), galois.WithThreads(threads)}
+	switch variant {
+	case "g-d":
+		opts = append(opts, galois.WithSched(galois.Deterministic))
+	case "g-dnc":
+		opts = append(opts, galois.WithSched(galois.Deterministic), galois.WithoutContinuation())
+	}
+	if sink != nil {
+		opts = append(opts, galois.WithTrace(sink))
+	}
+	return opts
+}

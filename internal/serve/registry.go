@@ -5,12 +5,16 @@ import (
 
 	"galois"
 	"galois/internal/apps/bfs"
+	"galois/internal/apps/dmr"
+	"galois/internal/apps/dt"
 	"galois/internal/apps/mis"
 	"galois/internal/apps/msf"
 	"galois/internal/apps/pfp"
 	"galois/internal/apps/sssp"
+	"galois/internal/geom"
 	"galois/internal/graph"
 	"galois/internal/inputs"
+	"galois/internal/mesh"
 	"galois/internal/stats"
 )
 
@@ -95,10 +99,31 @@ type msfInput struct {
 	edges []msf.WEdge
 }
 
-// DefaultRegistry returns the standard job kinds: the paper apps that fit
-// request/response serving (bfs, mis, pfp) plus the Lonestar extensions
-// (sssp, msf). dt and dmr are omitted: their outputs are whole meshes,
-// which belong in a bulk-transfer API, not a receipt.
+// dtInput bundles the canonical point set with the seed dt.Galois needs
+// for its BRIO shuffle. The points are never mutated (BRIO copies), so dt
+// is a shared, cacheable kind.
+type dtInput struct {
+	pts  []geom.Point
+	seed uint64
+}
+
+// dmrInput carries the (size, seed) cell and the current mesh root.
+// Refinement consumes the mesh, so rebuilding it IS the reset: Build
+// leaves root nil and Reset — which the server calls before every run of
+// an Exclusive kind — derives a pristine mesh through inputs.DMRMesh.
+type dmrInput struct {
+	n    int
+	seed uint64
+	root *mesh.Element
+}
+
+// DefaultRegistry returns all seven paper/Lonestar apps: the stateless
+// kinds (bfs, mis, sssp, msf, dt) plus the in-place mutators (pfp, dmr),
+// which go through the Exclusive-input machinery — the server serializes
+// their runs and resets the input before each one. A job's receipt
+// fingerprints the result, not the bulk output, so even the mesh apps fit
+// request/response serving; clients that want the mesh itself use a
+// session (internal/session) instead.
 func DefaultRegistry() *Registry {
 	r := NewRegistry()
 	r.Register(&Kind{
@@ -159,6 +184,35 @@ func DefaultRegistry() *Registry {
 		Run: func(data any, opts []galois.Option) (uint64, stats.Stats) {
 			val, st := pfp.Galois(data.(*pfp.Network), opts...)
 			return uint64(val), st
+		},
+	})
+	r.Register(&Kind{
+		Name: "dt",
+		Build: func(sc inputs.Scale, seed uint64) any {
+			return &dtInput{pts: inputs.DTPoints(sc.DTPoints, seed), seed: seed}
+		},
+		Run: func(data any, opts []galois.Option) (uint64, stats.Stats) {
+			d := data.(*dtInput)
+			// seed+3 is the harness's BRIO-shuffle derivation for dt; keep
+			// it so served fingerprints match harness fingerprints.
+			res := dt.Galois(d.pts, d.seed+3, opts...)
+			return res.Fingerprint(), res.Stats
+		},
+	})
+	r.Register(&Kind{
+		Name:      "dmr",
+		Exclusive: true,
+		Build: func(sc inputs.Scale, seed uint64) any {
+			return &dmrInput{n: sc.DMRPoints, seed: seed}
+		},
+		Reset: func(data any) {
+			d := data.(*dmrInput)
+			d.root = inputs.DMRMesh(d.n, d.seed)
+		},
+		Run: func(data any, opts []galois.Option) (uint64, stats.Stats) {
+			d := data.(*dmrInput)
+			res := dmr.Galois(d.root, dmr.DefaultQuality(), opts...)
+			return res.Fingerprint(), res.Stats
 		},
 	})
 	return r

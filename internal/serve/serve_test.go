@@ -2,7 +2,9 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"runtime"
 	"testing"
@@ -39,7 +41,7 @@ func submitOK(t *testing.T, c *Client, spec Spec) *JobResult {
 
 // detKinds returns the default registry's kinds (registration order);
 // every one supports the deterministic variants.
-func detKinds() []string { return []string{"bfs", "mis", "sssp", "msf", "pfp"} }
+func detKinds() []string { return []string{"bfs", "mis", "sssp", "msf", "pfp", "dt", "dmr"} }
 
 // TestDeterminismUnderLoad is the subsystem's load-bearing invariant: for
 // every deterministic job kind × {g-d, g-dnc}, the fingerprint is
@@ -108,11 +110,13 @@ func testDeterminismUnderLoad(t *testing.T) {
 		}
 	}
 
-	// Direct in-process execution must agree too. bfs/mis/pfp go through
-	// the experiment harness (shared derivations in internal/inputs);
-	// sssp/msf call their app entry points directly.
+	// Direct in-process execution must agree too. bfs/mis/pfp/dt/dmr go
+	// through the experiment harness (shared derivations in
+	// internal/inputs — the dmr cell also proves the server's Exclusive
+	// mesh reset reproduces a fresh build); sssp/msf call their app entry
+	// points directly.
 	in := harness.MakeInputs(harness.SmallScale())
-	for _, app := range []string{"bfs", "mis", "pfp"} {
+	for _, app := range []string{"bfs", "mis", "pfp", "dt", "dmr"} {
 		for _, variant := range []string{"g-d", "g-dnc"} {
 			got := fmt.Sprintf("%016x", in.RunOnce(app, variant, 2, nil).Fingerprint)
 			if want := serial[app+"/"+variant]; got != want {
@@ -226,7 +230,8 @@ func containsLinePrefix(text, prefix string) bool {
 	return false
 }
 
-// TestKindsEndpoint lists the registry in registration order.
+// TestKindsEndpoint lists the registry in registration order, and the
+// raw endpoint additionally advertises the session kinds.
 func TestKindsEndpoint(t *testing.T) {
 	_, c := newTestServer(t, Config{Workers: 1})
 	kinds, err := c.Kinds(context.Background())
@@ -236,5 +241,20 @@ func TestKindsEndpoint(t *testing.T) {
 	want := detKinds()
 	if fmt.Sprint(kinds) != fmt.Sprint(want) {
 		t.Errorf("kinds = %v, want %v", kinds, want)
+	}
+
+	resp, err := http.Get(c.BaseURL() + "/kinds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		SessionKinds []string `json:"session_kinds"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(body.SessionKinds) != fmt.Sprint([]string{"dmr", "sssp"}) {
+		t.Errorf("session_kinds = %v, want [dmr sssp]", body.SessionKinds)
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"galois"
 	"galois/internal/obs"
 	"galois/internal/rescache"
+	"galois/internal/session"
 	"galois/internal/stats"
 )
 
@@ -42,6 +43,15 @@ type Config struct {
 	MaxBody int64
 	// Registry supplies the job kinds. Default DefaultRegistry().
 	Registry *Registry
+	// SessionKinds supplies the session kinds. Default
+	// session.DefaultKinds().
+	SessionKinds *session.KindSet
+	// MaxSessions caps live (un-evicted) sessions. Default 64.
+	MaxSessions int
+	// SessionIdle > 0 starts the eviction janitor: a session with no
+	// batch for this long loses its pinned state and gains a tombstone
+	// link. 0 disables time-based eviction (explicit DELETE still works).
+	SessionIdle time.Duration
 	// CacheBytes > 0 enables the content-addressed result cache with that
 	// byte budget; 0 (the default) disables caching entirely. cmd/galoisd
 	// defaults the flag to 64 MiB — the zero default here keeps embedded
@@ -85,13 +95,20 @@ func (c *Config) fillDefaults() {
 	if c.Registry == nil {
 		c.Registry = DefaultRegistry()
 	}
+	if c.SessionKinds == nil {
+		c.SessionKinds = session.DefaultKinds()
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
 	if c.CacheSpotSeed == 0 {
 		c.CacheSpotSeed = 1
 	}
 }
 
-// job is one admitted unit of work.
+// job is one admitted one-shot unit of work.
 type job struct {
+	srv      *Server
 	spec     Spec
 	kind     *Kind
 	deadline time.Time
@@ -110,19 +127,26 @@ type job struct {
 	done chan jobOutcome
 }
 
+// run implements task: execute on a worker and deliver the outcome.
+func (j *job) run(tid int) { j.done <- j.srv.runJob(tid, j) }
+
 type jobOutcome struct {
 	res *JobResult
 	err *httpError
 }
 
 // Server is the deterministic analytics job service. Create with
-// NewServer, expose via Handler, stop with Shutdown.
+// NewServer, expose via Handler, stop with Shutdown. Execution mechanics
+// (admission, workers, engines, drain) live in the executor; the Server
+// layers policy on top: spec normalization, the result cache, and the
+// session subsystem.
 type Server struct {
-	cfg    Config
-	reg    *Registry
-	inputs *inputCache
-	pool   *EnginePool
-	mux    *http.ServeMux
+	cfg      Config
+	reg      *Registry
+	inputs   *inputCache
+	exec     *executor
+	sessions *session.Manager
+	mux      *http.ServeMux
 
 	// cache/flight/spot are nil unless Config.CacheBytes enabled caching:
 	// the result cache, the singleflight group collapsing identical
@@ -131,33 +155,20 @@ type Server struct {
 	flight *rescache.Flight
 	spot   *spotChecker
 
-	queue   chan *job
-	workers sync.WaitGroup
-
-	// admitMu orders submissions against shutdown: submitters hold the
-	// read side across the draining check and the queue send, Shutdown
-	// holds the write side while flipping draining and closing the queue,
-	// so no send can race the close.
-	admitMu  sync.RWMutex
-	draining bool
-
-	// met collects serving metrics. Cell 0 is the handler side (guarded
-	// by metMu — handlers run on arbitrary goroutines); cells 1..Workers
-	// are single-writer per worker.
-	met   *obs.Registry
-	metMu sync.Mutex
+	// janitorStop ends the idle-eviction janitor; nil when SessionIdle=0.
+	janitorStop chan struct{}
+	janitorDone sync.WaitGroup
 }
 
 // NewServer builds a server from cfg and starts its workers.
 func NewServer(cfg Config) *Server {
 	cfg.fillDefaults()
 	s := &Server{
-		cfg:    cfg,
-		reg:    cfg.Registry,
-		inputs: newInputCache(),
-		pool:   NewEnginePool(cfg.EngineCap),
-		queue:  make(chan *job, cfg.QueueDepth),
-		met:    obs.NewRegistry(cfg.Workers + 1),
+		cfg:      cfg,
+		reg:      cfg.Registry,
+		inputs:   newInputCache(),
+		exec:     newExecutor(cfg.Workers, cfg.QueueDepth, cfg.EngineCap),
+		sessions: session.NewManager(cfg.SessionKinds, cfg.MaxSessions),
 	}
 	if cfg.CacheBytes > 0 {
 		s.cache = rescache.New(cfg.CacheBytes)
@@ -175,12 +186,47 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /kinds", s.handleKinds)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.workers.Add(cfg.Workers)
-	for w := 0; w < cfg.Workers; w++ {
-		//detlint:ignore goroutineorder job executors: each job's outcome returns over its own buffered done channel and every deterministic result is a pure function of its spec, so worker scheduling never reaches committed output
-		go s.worker(w)
+	s.mux.HandleFunc("POST /sessions", s.handleSessionCreate)
+	s.mux.HandleFunc("GET /sessions/{id}", s.handleSessionGet)
+	s.mux.HandleFunc("DELETE /sessions/{id}", s.handleSessionClose)
+	s.mux.HandleFunc("POST /sessions/{id}/batches", s.handleSessionBatch)
+	s.mux.HandleFunc("POST /sessions/{id}/verify", s.handleSessionVerify)
+	if cfg.SessionIdle > 0 {
+		s.janitorStop = make(chan struct{})
+		s.janitorDone.Add(1)
+		//detlint:ignore goroutineorder eviction janitor: eviction timing is wall-clock policy by design; the tombstone link it seals is a pure function of the chain head and reason, never of when the sweep ran
+		go s.janitor(cfg.SessionIdle)
 	}
 	return s
+}
+
+// janitor periodically evicts idle sessions. The sweep itself is also run
+// inline by the session handlers, so eviction is visible to clients even
+// without the ticker; the janitor's job is freeing pinned state on a
+// server nobody is talking to.
+func (s *Server) janitor(idle time.Duration) {
+	defer s.janitorDone.Done()
+	t := time.NewTicker(idle / 2)
+	defer t.Stop()
+	for {
+		//detlint:ignore goroutineorder janitor tick-vs-stop: eviction timing is wall-clock policy by design; the tombstone link is a pure function of the chain head and reason
+		select {
+		case <-s.janitorStop:
+			return
+		case <-t.C:
+			s.sweepSessions()
+		}
+	}
+}
+
+// sweepSessions evicts sessions idle past the configured threshold.
+func (s *Server) sweepSessions() {
+	if s.cfg.SessionIdle <= 0 {
+		return
+	}
+	for range s.sessions.EvictIdle(time.Now().UnixNano(), s.cfg.SessionIdle.Nanoseconds()) {
+		s.exec.count("serve.session.evict")
+	}
 }
 
 // Handler returns the server's HTTP interface.
@@ -188,10 +234,13 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Metrics returns the server's metrics registry (counters accumulate for
 // the life of the server).
-func (s *Server) Metrics() *obs.Registry { return s.met }
+func (s *Server) Metrics() *obs.Registry { return s.exec.met }
+
+// Sessions returns the server's session manager.
+func (s *Server) Sessions() *session.Manager { return s.sessions }
 
 // PoolCounters snapshots the engine pool's checkout statistics.
-func (s *Server) PoolCounters() PoolCounters { return s.pool.Counters() }
+func (s *Server) PoolCounters() PoolCounters { return s.exec.pool.Counters() }
 
 // CacheCounters snapshots the result cache's statistics; the zero value
 // when caching is disabled.
@@ -203,12 +252,7 @@ func (s *Server) CacheCounters() rescache.Counters {
 }
 
 // count bumps a handler-side counter (metric cell 0, mutex-guarded).
-func (s *Server) count(name string) {
-	c := s.met.Counter(name)
-	s.metMu.Lock()
-	c.Add(0, 1)
-	s.metMu.Unlock()
-}
+func (s *Server) count(name string) { s.exec.count(name) }
 
 // normalize validates a raw spec against the registry and config and fills
 // defaults, returning the canonical spec a receipt will carry.
@@ -345,6 +389,7 @@ func (s *Server) serveHit(ctx context.Context, key rescache.Key, spec Spec, cr *
 func (s *Server) enqueue(ctx context.Context, spec Spec, kind *Kind, key rescache.Key, store, recheck bool, timeout time.Duration) (*JobResult, *httpError) {
 	now := time.Now()
 	j := &job{
+		srv:      s,
 		spec:     spec,
 		kind:     kind,
 		deadline: now.Add(timeout),
@@ -354,23 +399,9 @@ func (s *Server) enqueue(ctx context.Context, spec Spec, kind *Kind, key rescach
 		recheck:  recheck,
 		done:     make(chan jobOutcome, 1),
 	}
-
-	s.admitMu.RLock()
-	if s.draining {
-		s.admitMu.RUnlock()
-		s.count("serve.reject.draining")
-		return nil, errf(http.StatusServiceUnavailable, "server is draining; not accepting jobs")
+	if herr := s.exec.admit(j); herr != nil {
+		return nil, herr
 	}
-	select {
-	case s.queue <- j:
-	default:
-		s.admitMu.RUnlock()
-		s.count("serve.reject.full")
-		return nil, &httpError{status: http.StatusTooManyRequests,
-			msg: "job queue full", retryAfter: 1}
-	}
-	s.admitMu.RUnlock()
-	s.count("serve.admit")
 
 	// The job is admitted: a worker will run it and deliver the outcome on
 	// the buffered done channel whether or not anyone is still listening.
@@ -383,20 +414,10 @@ func (s *Server) enqueue(ctx context.Context, spec Spec, kind *Kind, key rescach
 	}
 }
 
-// worker executes admitted jobs until the queue closes on shutdown.
-// Workers drain everything admitted — a queued job is never dropped.
-func (s *Server) worker(wid int) {
-	defer s.workers.Done()
-	for j := range s.queue {
-		j.done <- s.runJob(wid, j)
-	}
-}
-
 // runJob executes one job on a pooled engine and assembles its result.
-func (s *Server) runJob(wid int, j *job) (out jobOutcome) {
-	tid := wid + 1 // metric cell; 0 is the handler side
+func (s *Server) runJob(tid int, j *job) jobOutcome {
 	if time.Now().After(j.deadline) {
-		s.met.Counter("serve.timeout").Add(tid, 1)
+		s.exec.met.Counter("serve.timeout").Add(tid, 1)
 		return jobOutcome{err: errf(http.StatusGatewayTimeout,
 			"job %s exceeded its deadline while queued", j.spec)}
 	}
@@ -406,7 +427,7 @@ func (s *Server) runJob(wid int, j *job) (out jobOutcome) {
 			// spot-check re-execution) while this job waited for a worker.
 			// Serving the resident copy keeps the one-execution-per-spec
 			// property instead of running the same pure function twice.
-			s.met.Counter("serve.cache.hit_queued").Add(tid, 1)
+			s.exec.met.Counter("serve.cache.hit_queued").Add(tid, 1)
 			return jobOutcome{res: v.(*cachedResult).result()}
 		}
 	}
@@ -422,55 +443,41 @@ func (s *Server) runJob(wid int, j *job) (out jobOutcome) {
 		j.kind.Reset(ent.data)
 	}
 
-	eng, transient := s.pool.Get(j.spec.Threads)
-	defer func() {
-		if r := recover(); r != nil {
-			// The engine's retained state is suspect after a panic; close
-			// it rather than returning it to the pool.
-			s.pool.Discard(j.spec.Threads, eng, transient)
-			s.met.Counter("serve.panic").Add(tid, 1)
-			out = jobOutcome{err: errf(http.StatusInternalServerError, "job %s panicked: %v", j.spec, r)}
-			return
+	var res *JobResult
+	herr := s.exec.withEngine(j.spec.Threads, tid, func(eng *galois.Engine, engineHit bool) {
+		var sink *galois.Trace
+		if j.spec.Trace {
+			sink = galois.NewTrace(j.spec.Threads)
 		}
-		s.pool.Put(j.spec.Threads, eng, transient)
-	}()
+		opts := schedOpts(j.spec.Variant, j.spec.Threads, eng, sink)
 
-	opts := []galois.Option{galois.WithEngine(eng), galois.WithThreads(j.spec.Threads)}
-	switch j.spec.Variant {
-	case "g-d":
-		opts = append(opts, galois.WithSched(galois.Deterministic))
-	case "g-dnc":
-		opts = append(opts, galois.WithSched(galois.Deterministic), galois.WithoutContinuation())
-	}
-	var sink *galois.Trace
-	if j.spec.Trace {
-		sink = galois.NewTrace(j.spec.Threads)
-		opts = append(opts, galois.WithTrace(sink))
-	}
+		start := time.Now()
+		fp, st := j.kind.Run(ent.data, opts)
+		wall := time.Since(start)
 
-	start := time.Now()
-	fp, st := j.kind.Run(ent.data, opts)
-	wall := time.Since(start)
-
-	s.recordRun(tid, j.spec, st, wall)
-	res := &JobResult{
-		Receipt: Receipt{
-			Spec:          j.spec,
-			Fingerprint:   fmt.Sprintf("%016x", fp),
-			Deterministic: j.spec.Deterministic(),
-		},
-		WallNS:    wall.Nanoseconds(),
-		QueueNS:   start.Sub(j.admitted).Nanoseconds(),
-		Commits:   st.Commits,
-		Aborts:    st.Aborts,
-		Rounds:    st.Rounds,
-		EngineHit: !transient,
-	}
-	if sink != nil {
-		var buf bytes.Buffer
-		if err := sink.WriteChromeTrace(&buf); err == nil {
-			res.Trace = json.RawMessage(buf.Bytes())
+		s.recordRun(tid, j.spec, st, wall)
+		res = &JobResult{
+			Receipt: Receipt{
+				Spec:          j.spec,
+				Fingerprint:   fmt.Sprintf("%016x", fp),
+				Deterministic: j.spec.Deterministic(),
+			},
+			WallNS:    wall.Nanoseconds(),
+			QueueNS:   start.Sub(j.admitted).Nanoseconds(),
+			Commits:   st.Commits,
+			Aborts:    st.Aborts,
+			Rounds:    st.Rounds,
+			EngineHit: engineHit,
 		}
+		if sink != nil {
+			var buf bytes.Buffer
+			if err := sink.WriteChromeTrace(&buf); err == nil {
+				res.Trace = json.RawMessage(buf.Bytes())
+			}
+		}
+	})
+	if herr != nil {
+		return jobOutcome{err: errf(herr.status, "job %s: %s", j.spec, herr.msg)}
 	}
 	if j.store {
 		// Store before delivering the outcome: once the submitter (or a
@@ -490,48 +497,33 @@ func (s *Server) runJob(wid int, j *job) (out jobOutcome) {
 
 // recordRun publishes one finished run into the server's metrics.
 func (s *Server) recordRun(tid int, spec Spec, st stats.Stats, wall time.Duration) {
-	s.met.Counter("serve.complete").Add(tid, 1)
-	s.met.Histogram("serve.job.wall_ms", obs.Pow2Bounds(1<<16)).Observe(tid, wall.Milliseconds())
+	s.exec.met.Counter("serve.complete").Add(tid, 1)
+	s.exec.met.Histogram("serve.job.wall_ms", obs.Pow2Bounds(1<<16)).Observe(tid, wall.Milliseconds())
 	prefix := "serve.kind." + spec.Kind
-	s.met.Counter(prefix+".jobs").Add(tid, 1)
-	s.met.Counter(prefix+".commits").Add(tid, st.Commits)
-	s.met.Counter(prefix+".aborts").Add(tid, st.Aborts)
+	s.exec.met.Counter(prefix+".jobs").Add(tid, 1)
+	s.exec.met.Counter(prefix+".commits").Add(tid, st.Commits)
+	s.exec.met.Counter(prefix+".aborts").Add(tid, st.Aborts)
 }
 
 // Shutdown drains the server: new submissions are rejected with 503,
-// queued and in-flight jobs all complete and deliver their receipts, the
-// workers exit, and the engine pool is closed. Returns ctx.Err() if the
-// drain outlives ctx (workers keep draining regardless).
+// queued and in-flight work all completes and delivers its receipts —
+// session batches included — the workers exit, and the engine pool is
+// closed. Returns ctx.Err() if the drain outlives ctx (workers keep
+// draining regardless).
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.admitMu.Lock()
-	if !s.draining {
-		s.draining = true
-		close(s.queue)
+	if s.janitorStop != nil {
+		select {
+		case <-s.janitorStop:
+		default:
+			close(s.janitorStop)
+		}
+		s.janitorDone.Wait()
 	}
-	s.admitMu.Unlock()
-
-	done := make(chan struct{})
-	//detlint:ignore goroutineorder shutdown join: signals only that all workers exited; no result flows through it
-	go func() {
-		s.workers.Wait()
-		close(done)
-	}()
-	//detlint:ignore goroutineorder shutdown wait: chooses between "drained" and "caller gave up"; job results are unaffected
-	select {
-	case <-done:
-		s.pool.Drain()
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
+	return s.exec.drain(ctx)
 }
 
 // Draining reports whether Shutdown has begun.
-func (s *Server) Draining() bool {
-	s.admitMu.RLock()
-	defer s.admitMu.RUnlock()
-	return s.draining
-}
+func (s *Server) Draining() bool { return s.exec.draining() }
 
 // --- HTTP handlers ---
 
@@ -606,13 +598,14 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	var buf bytes.Buffer
-	_ = s.met.WriteText(&buf)
-	pc := s.pool.Counters()
+	_ = s.exec.met.WriteText(&buf)
+	pc := s.exec.pool.Counters()
 	fmt.Fprintf(&buf, "serve.pool.hits %d\n", pc.Hits)
 	fmt.Fprintf(&buf, "serve.pool.misses %d\n", pc.Misses)
 	fmt.Fprintf(&buf, "serve.pool.transients %d\n", pc.Transients)
-	fmt.Fprintf(&buf, "serve.queue.depth %d\n", len(s.queue))
+	fmt.Fprintf(&buf, "serve.queue.depth %d\n", len(s.exec.queue))
 	fmt.Fprintf(&buf, "serve.queue.cap %d\n", s.cfg.QueueDepth)
+	fmt.Fprintf(&buf, "serve.sessions.live %d\n", s.sessions.Live())
 	if s.cache != nil {
 		cc := s.cache.Counters()
 		fmt.Fprintf(&buf, "serve.rescache.hits %d\n", cc.Hits)
@@ -628,7 +621,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleKinds(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string][]string{"kinds": s.reg.Names()})
+	writeJSON(w, http.StatusOK, map[string][]string{
+		"kinds":         s.reg.Names(),
+		"session_kinds": s.sessions.Kinds().Names(),
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

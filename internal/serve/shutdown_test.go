@@ -56,7 +56,7 @@ func TestShutdownDrainsAdmittedJobs(t *testing.T) {
 	}
 	// One job running, two queued.
 	<-started
-	waitFor(t, func() bool { return len(s.queue) == 2 })
+	waitFor(t, func() bool { return len(s.exec.queue) == 2 })
 
 	shutdownDone := make(chan error, 1)
 	go func() { shutdownDone <- s.Shutdown(ctx) }()

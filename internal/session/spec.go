@@ -1,0 +1,112 @@
+// Package session makes mutation a first-class, verifiable API. A session
+// pins a long-lived mutable input (a mesh, a weighted graph) server-side;
+// clients submit deterministic mutation batches against it and get back a
+// receipt per batch. Each receipt's fingerprint covers the previous
+// receipt's fingerprint, the canonical batch encoding, and the post-state
+// fingerprint — a hash chain, so the entire session history is checkable
+// from the last receipt alone: replaying the recorded batches from the
+// recorded initial spec must reproduce every link byte-for-byte.
+//
+// The chain inherits the paper's portability property: a batch's state and
+// result fingerprints are independent of machine and thread count under
+// the deterministic scheduler, and per-batch thread counts are excluded
+// from the canonical encoding, so the same batch sequence yields the same
+// chain no matter how it was scheduled.
+//
+// This package is determinism-critical (detlint: critical): it never reads
+// the wall clock (timestamps are injected by the serving layer), never
+// iterates a map on a path that feeds a hash, and derives all randomness
+// from explicit batch seeds.
+package session
+
+import (
+	"errors"
+	"fmt"
+)
+
+// InitSpec is the canonical description of a session's initial state: the
+// session kind plus the (scale, seed) cell its input is derived from and
+// the scheduler variant its batches run under. Threads is a serving-time
+// default, not part of the canonical encoding — the chain must be
+// identical across thread counts.
+type InitSpec struct {
+	Kind    string `json:"kind"`
+	Variant string `json:"variant,omitempty"`
+	Scale   string `json:"scale,omitempty"`
+	Seed    uint64 `json:"seed"`
+	Threads int    `json:"threads,omitempty"`
+}
+
+func (is InitSpec) String() string {
+	return fmt.Sprintf("%s/%s/%s/seed%d", is.Kind, is.Variant, is.Scale, is.Seed)
+}
+
+// BatchSpec is one mutation batch. Exactly the operation fields participate
+// in the canonical encoding (per kind); Threads, TimeoutMS and Prev are
+// serving-time controls:
+//
+//   - Threads overrides the session's thread count for this batch only.
+//   - TimeoutMS bounds queue wait + execution for this batch.
+//   - Prev, when set, is the chain fingerprint the client believes is the
+//     current head. If it names an older link whose batch encoding matches
+//     this one, the recorded receipt is returned instead of re-executing —
+//     the idempotent-retry path. If it mismatches the head otherwise, the
+//     batch is rejected (the client lost a race and must refetch).
+type BatchSpec struct {
+	// Op selects the mutation: "refine" (dmr), "reweight" (sssp),
+	// "tombstone" (server-generated eviction marker; rejected on submit).
+	Op string `json:"op"`
+	// AngleCentideg is refine's quality bound in centidegrees (0, 3000].
+	AngleCentideg int `json:"angle_centideg,omitempty"`
+	// Edges is reweight's number of edge-weight perturbations (0, 65536].
+	Edges int `json:"edges,omitempty"`
+	// Seed drives reweight's perturbation stream.
+	Seed uint64 `json:"seed,omitempty"`
+	// Reason is set on tombstone links only ("idle", "closed").
+	Reason string `json:"reason,omitempty"`
+
+	Prev      string `json:"prev,omitempty"`
+	Threads   int    `json:"threads,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// Link is one receipt in the chain. Index 0 is the genesis link (Op
+// "init", hashing the canonical init spec); eviction appends a final
+// tombstone link. Chain is hex SHA-256; StateFP/ResultFP are the %016x
+// fingerprints the hash covers.
+type Link struct {
+	Index    int       `json:"index"`
+	Prev     string    `json:"prev"`
+	Batch    BatchSpec `json:"batch"`
+	StateFP  string    `json:"state_fp"`
+	ResultFP string    `json:"result_fp,omitempty"`
+	Chain    string    `json:"chain"`
+
+	// Replayed marks a response served from the recorded chain (idempotent
+	// retry) rather than a fresh execution. Not part of the hash.
+	Replayed bool `json:"replayed,omitempty"`
+}
+
+// VerifyOutcome reports a chain replay. FailedIndex is -1 on a full match,
+// else the first link whose recomputation disagreed with the record.
+type VerifyOutcome struct {
+	Match       bool   `json:"match"`
+	FailedIndex int    `json:"failed_index"`
+	Links       int    `json:"links"`
+	FinalChain  string `json:"final_chain"`
+	Reason      string `json:"reason,omitempty"`
+}
+
+// Sentinel errors the serving layer maps to HTTP statuses.
+var (
+	// ErrEvicted: the session's state is gone (idle eviction or close);
+	// its chain remains readable and verifiable.
+	ErrEvicted = errors.New("session evicted")
+	// ErrPrevMismatch: the batch named a Prev that is neither the current
+	// head nor a replayable historical link.
+	ErrPrevMismatch = errors.New("prev fingerprint does not match chain head")
+	// ErrTooManySessions: the manager is at its live-session cap.
+	ErrTooManySessions = errors.New("too many live sessions")
+	// ErrNotFound: no session with that id.
+	ErrNotFound = errors.New("no such session")
+)

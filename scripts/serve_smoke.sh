@@ -3,10 +3,14 @@
 #
 # Starts galoisd on an ephemeral port, drives a mixed workload through
 # galoisload (deterministic and non-deterministic variants, two client
-# concurrency levels), re-verifies receipts through POST /verify, and
-# shuts the server down gracefully. Fails on any request error, any
-# deterministic cell with more than one fingerprint, or any receipt that
-# does not re-verify. Writes the load report to serve-load.json (CI
+# concurrency levels), re-verifies receipts through POST /verify, then
+# walks the stateful-session API with curl — create a dmr session, chain
+# three mutation batches, audit the whole chain from the last receipt,
+# watch idle eviction seal a tombstone, and confirm the sealed chain still
+# verifies while new batches get 410 — and shuts the server down
+# gracefully. Fails on any request error, any deterministic cell with more
+# than one fingerprint, any receipt that does not re-verify, or any chain
+# that does not replay. Writes the load report to serve-load.json (CI
 # uploads it as an artifact).
 #
 # Usage: scripts/serve_smoke.sh [report-path]
@@ -20,7 +24,9 @@ echo "serve-smoke: building galoisd and galoisload"
 go build -o "$tmp/galoisd" ./cmd/galoisd
 go build -o "$tmp/galoisload" ./cmd/galoisload
 
-"$tmp/galoisd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" &
+# -session-idle is short so the eviction/tombstone path is observable in
+# the session phase below; the load phases never idle that long mid-chain.
+"$tmp/galoisd" -addr 127.0.0.1:0 -addr-file "$tmp/addr" -session-idle 2s &
 server_pid=$!
 
 i=0
@@ -37,9 +43,12 @@ addr=$(cat "$tmp/addr")
 echo "serve-smoke: galoisd on $addr"
 
 # Mixed workload: every registered kind, det and nondet variants, serial
-# and concurrent clients; three receipts replayed through /verify.
+# and concurrent clients; three receipts replayed through /verify; plus a
+# stateful-session phase (two concurrent session clients, three chained
+# batches each, full chain audit through POST /sessions/{id}/verify).
 "$tmp/galoisload" -addr "$addr" \
     -variants g-n,g-d,g-dnc -clients 1,4 -n 6 \
+    -sessions 2 -batches 3 \
     -scale small -threads 2 -verify 3 -report "$report"
 
 # Warm-cache phase: the same deterministic spec submitted twice must hit
@@ -72,6 +81,58 @@ if [ -z "$hits_after" ] || [ "${hits_before:-0}" -ge "$hits_after" ]; then
     exit 1
 fi
 echo "serve-smoke: warm-cache ok (fp $fp1, hits $hits_before -> $hits_after)"
+
+# Session phase: the mutation API end to end. Create a dmr session, chain
+# three refinement batches (each naming its predecessor), then audit the
+# entire history from nothing but the final receipt.
+echo "serve-smoke: session phase"
+created=$(curl -sf -X POST "http://$addr/sessions" -d '{"kind":"dmr","scale":"small","seed":42}')
+sid=$(printf '%s' "$created" | sed -n 's/.*"id":"\(s[0-9]*\)".*/\1/p')
+prev=$(printf '%s' "$created" | sed -n 's/.*"head":"\([0-9a-f]*\)".*/\1/p')
+if [ -z "$sid" ] || [ -z "$prev" ]; then
+    echo "serve-smoke: session create malformed: $created" >&2
+    exit 1
+fi
+for angle in 2400 2600 2800; do
+    br=$(curl -sf -X POST "http://$addr/sessions/$sid/batches" \
+        -d "{\"op\":\"refine\",\"angle_centideg\":$angle,\"prev\":\"$prev\"}")
+    chain=$(printf '%s' "$br" | sed -n 's/.*"chain":"\([0-9a-f]*\)".*/\1/p')
+    if [ -z "$chain" ]; then
+        echo "serve-smoke: batch (angle $angle) malformed: $br" >&2
+        exit 1
+    fi
+    prev=$chain
+done
+vr=$(curl -sf -X POST "http://$addr/sessions/$sid/verify" -d "{\"final_chain\":\"$prev\"}")
+case "$vr" in
+*'"match":true'*) echo "serve-smoke: session chain verified from last receipt ($prev)" ;;
+*) echo "serve-smoke: chain verification failed: $vr" >&2; exit 1 ;;
+esac
+
+# Idle past -session-idle: the sweep on the next request must have sealed
+# a tombstone; the chain stays readable and verifiable, new batches 410.
+sleep 3
+info=$(curl -sf "http://$addr/sessions/$sid")
+case "$info" in
+*'"evicted":true'*) ;;
+*) echo "serve-smoke: session not evicted after idle: $info" >&2; exit 1 ;;
+esac
+case "$info" in
+*'"op":"tombstone"'*) echo "serve-smoke: idle eviction sealed a tombstone" ;;
+*) echo "serve-smoke: evicted session has no tombstone link: $info" >&2; exit 1 ;;
+esac
+vr=$(curl -sf -X POST "http://$addr/sessions/$sid/verify")
+case "$vr" in
+*'"match":true'*) ;;
+*) echo "serve-smoke: evicted chain no longer verifies: $vr" >&2; exit 1 ;;
+esac
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$addr/sessions/$sid/batches" \
+    -d '{"op":"refine","angle_centideg":2900}')
+if [ "$code" != "410" ]; then
+    echo "serve-smoke: batch against evicted session returned $code, want 410" >&2
+    exit 1
+fi
+echo "serve-smoke: session phase ok"
 
 echo "serve-smoke: draining galoisd"
 kill -TERM "$server_pid"
