@@ -3,10 +3,10 @@
 
 GO ?= go
 
-.PHONY: check build vet lint lint-effects test race trace-smoke serve-smoke bench-compare
+.PHONY: check build vet lint lint-effects test race trace-smoke serve-smoke cluster-smoke bench-compare
 
 # Everything CI runs, in CI's order.
-check: vet lint build test race trace-smoke serve-smoke bench-compare
+check: vet lint build test race trace-smoke serve-smoke cluster-smoke bench-compare
 
 build:
 	$(GO) build ./...
@@ -36,7 +36,7 @@ test:
 # never exhibit, the race detector catches unsynchronized access the
 # linter cannot see.
 race:
-	$(GO) test -race ./internal/core/... ./internal/apps/... ./internal/serve/... ./internal/session/... ./internal/para/... ./internal/psort/... ./internal/scan/...
+	$(GO) test -race ./internal/core/... ./internal/apps/... ./internal/serve/... ./internal/session/... ./internal/router/... ./internal/para/... ./internal/psort/... ./internal/scan/...
 
 # End-to-end trace check: run one traced figure at small scale, then prove
 # the emitted Chrome trace-event JSON parses and is structurally sound
@@ -53,6 +53,15 @@ trace-smoke:
 # request error; the load report lands in serve-load.json.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# End-to-end cluster check: two galoisd backends behind a galoisrouter on
+# ephemeral ports, a mixed det/nondet workload routed across them (per-seed
+# fingerprints policed cross-backend), the cross-node verify demo (a
+# receipt produced on backend A verified on backend B), one sticky session,
+# then a SIGTERM drain of the whole stack. The load report lands in
+# cluster-load.json.
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
 
 # Compare the two most recent committed benchmark trajectories
 # (BENCH_<n>.json). Wall-clock movement is report-only (different machines

@@ -37,6 +37,14 @@
 // the mode — hard-failing on drift — while wall time and allocations are
 // skipped across modes, where they measure different things.
 //
+// Mode "serve-cluster" entries (galoisload -targets/-router: the cell
+// driven through a galoisrouter over N backends) participate in cross-mode
+// policing like any serve entry: routing is behavior-free, so a cluster
+// fingerprint must equal the single-node and in-process fingerprints of the
+// same cell — drift means the routed tier broke determinism. Backend count
+// and policy are part of the key, so each (cell, backends, policy) point is
+// its own latency measurement.
+//
 // Mode "serve-session" entries are the exception to cross-mode policing:
 // their fingerprint column carries a receipt-chain hash (a function of the
 // whole mutation history), not a single run's result fingerprint, so they

@@ -337,3 +337,65 @@ func TestDiffSweepIgnoresNondet(t *testing.T) {
 		t.Fatalf("nondet sweep checked: %+v", r)
 	}
 }
+
+// clusterEntry is one Mode "serve-cluster" measurement: the cell driven
+// through a galoisrouter over n backends under the named policy.
+func clusterEntry(app string, backends int, policy string, wall int64, fp string) obs.BenchEntry {
+	return obs.BenchEntry{App: app, Variant: "g-d", Sched: "det", Threads: 2,
+		Scale: "small", WallNS: wall, Mode: "serve-cluster", Clients: 8,
+		Backends: backends, Policy: policy, Fingerprint: fp}
+}
+
+func TestDiffServeClusterJoinsCrossModePool(t *testing.T) {
+	// Routing is behavior-free, so serve-cluster fingerprints are policed
+	// against serve and in-process entries of the same cell — unlike
+	// serve-session, which is excluded. Matching fingerprints: clean.
+	old := bench(entry("bfs", 100, 50, "", "aa"), serveEntry("bfs", 5_000_000, 8, "aa"))
+	r := diff(old, bench(clusterEntry("bfs", 2, "round-robin", 6_000_000, "aa")), 0.10)
+	if r.crossChecked != 2 || len(r.behaviorChanges) != 0 {
+		t.Fatalf("serve-cluster not cross-checked cleanly: %+v", r)
+	}
+
+	// A cluster fingerprint drifting from the in-process trajectory is the
+	// routed tier breaking determinism — fatal per old entry.
+	r = diff(old, bench(clusterEntry("bfs", 2, "round-robin", 6_000_000, "zz")), 0.10)
+	if r.crossChecked != 2 || len(r.behaviorChanges) != 2 {
+		t.Fatalf("serve-cluster fingerprint drift not flagged: %+v", r)
+	}
+}
+
+func TestDiffClusterBackendsAndPolicyAreDistinctKeys(t *testing.T) {
+	// The same cell at different cluster sizes or routing policies is a
+	// different latency measurement: no wall comparison across them, and
+	// none of the combinations collapse into one key.
+	old := bench(
+		clusterEntry("bfs", 2, "round-robin", 100, "aa"),
+		clusterEntry("bfs", 2, "least-loaded", 900, "aa"),
+		clusterEntry("bfs", 4, "round-robin", 150, "aa"))
+	new := bench(
+		clusterEntry("bfs", 2, "round-robin", 100, "aa"),
+		clusterEntry("bfs", 2, "least-loaded", 900, "aa"),
+		clusterEntry("bfs", 4, "round-robin", 150, "aa"))
+	if r := diff(old, new, 0.10); r.compared != 3 || len(r.onlyNew) != 0 {
+		t.Fatalf("cluster size/policy collapsed into one key: %+v", r)
+	}
+}
+
+func TestDiffClusterSweepGroup(t *testing.T) {
+	// In-file: every policy and backend count of one cell must agree with
+	// each other and with in-process entries — the determinism-under-
+	// cluster matrix as a trajectory-file invariant.
+	agree := bench(
+		threadEntry("bfs", 2, 100, "aa"),
+		clusterEntry("bfs", 1, "round-robin", 500, "aa"),
+		clusterEntry("bfs", 4, "consistent-hash", 400, "aa"))
+	if r := diff(bench(), agree, 0.10); len(r.behaviorChanges) != 0 || r.sweepChecked != 1 {
+		t.Fatalf("agreeing cluster sweep flagged: %+v", r)
+	}
+	drift := bench(
+		threadEntry("bfs", 2, 100, "aa"),
+		clusterEntry("bfs", 4, "consistent-hash", 400, "zz"))
+	if r := diff(bench(), drift, 0.10); len(r.behaviorChanges) != 1 {
+		t.Fatalf("cluster sweep drift not flagged: %+v", r)
+	}
+}

@@ -8,6 +8,18 @@
 //	galoisload -inprocess -scale small -bench-json BENCH.json
 //	galoisload -inprocess -repeat-rate 0,0.5,0.9 -n 30
 //	galoisload -inprocess -sessions 4 -batches 3
+//	galoisload -targets localhost:8091,localhost:8092 -policy least-loaded
+//	galoisload -router localhost:8090 -clients 8 -verify 5
+//
+// -targets spins up an in-process galoisrouter over the listed galoisd
+// backends and drives the load through it; -router points at a running
+// galoisrouter instead (backend count and policy are read from its
+// /healthz). Either way the per-seed fingerprint policing below becomes a
+// cross-backend determinism check — requests for one seed land on
+// whichever backends the policy picks, and their fingerprints must still
+// agree — and -verify replays receipts through the router's round-robin
+// verify path, i.e. on nodes that did not produce them. Bench entries
+// carry Mode "serve-cluster" keyed by backend count and policy.
 //
 // -sessions adds a stateful-session phase: N concurrent clients each
 // create a session, drive -batches chained mutation batches from a
@@ -32,6 +44,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"strconv"
@@ -39,12 +52,16 @@ import (
 	"time"
 
 	"galois/internal/obs"
+	"galois/internal/router"
 	"galois/internal/serve"
 )
 
 func main() {
-	addr := flag.String("addr", "", "galoisd address (host:port or URL); empty requires -inprocess")
+	addr := flag.String("addr", "", "galoisd address (host:port or URL); empty requires -inprocess, -targets or -router")
 	inprocess := flag.Bool("inprocess", false, "spin up an in-process server instead of targeting -addr")
+	targets := flag.String("targets", "", "comma-separated galoisd backends; spins up an in-process galoisrouter over them and drives the load through it (bench entries get Mode serve-cluster)")
+	policyFlag := flag.String("policy", "round-robin", "routing policy of the in-process router (with -targets): round-robin|least-loaded|consistent-hash|weighted")
+	routerAddr := flag.String("router", "", "address of a running galoisrouter; its /healthz supplies the backend count and policy for serve-cluster bench keys")
 	kindsFlag := flag.String("kinds", "", "comma-separated job kinds (default: every kind the server registers)")
 	variantsFlag := flag.String("variants", "g-d,g-dnc", "comma-separated variants")
 	clientsFlag := flag.String("clients", "1,8", "comma-separated client concurrency levels")
@@ -81,8 +98,13 @@ func main() {
 	}
 
 	ctx := context.Background()
+	// clusterBackends/clusterPolicy label runs driven through a router:
+	// their bench entries get Mode "serve-cluster" keyed by both.
+	clusterBackends := 0
+	clusterPolicy := ""
 	var c *serve.Client
-	if *inprocess {
+	switch {
+	case *inprocess:
 		s := serve.NewServer(serve.Config{CacheBytes: *cacheBytes})
 		ts := httptest.NewServer(s.Handler())
 		defer func() {
@@ -90,16 +112,44 @@ func main() {
 			ts.Close()
 		}()
 		c = serve.NewClient(ts.URL, ts.Client())
-	} else {
-		if *addr == "" {
-			fmt.Fprintln(os.Stderr, "galoisload: need -addr or -inprocess")
+	case *targets != "":
+		var specs []router.BackendSpec
+		for _, u := range splitCSV(*targets) {
+			specs = append(specs, router.BackendSpec{URL: u})
+		}
+		rt, err := router.New(router.Config{Backends: specs, Policy: *policyFlag})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "galoisload: %v\n", err)
 			os.Exit(2)
 		}
+		defer rt.Close()
+		front := httptest.NewServer(rt.Handler())
+		defer front.Close()
+		c = serve.NewClient(front.URL, loadHTTPClient())
+		clusterBackends, clusterPolicy = len(specs), rt.Policy()
+	case *routerAddr != "":
+		base := *routerAddr
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		c = serve.NewClient(base, loadHTTPClient())
+		// The router's own healthz names its policy and backend set —
+		// that is what keys the serve-cluster bench entries.
+		h, err := routerHealthz(ctx, base)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "galoisload: router healthz: %v\n", err)
+			os.Exit(1)
+		}
+		clusterBackends, clusterPolicy = len(h.Backends), h.Policy
+	case *addr != "":
 		base := *addr
 		if !strings.Contains(base, "://") {
 			base = "http://" + base
 		}
-		c = serve.NewClient(base, nil)
+		c = serve.NewClient(base, loadHTTPClient())
+	default:
+		fmt.Fprintln(os.Stderr, "galoisload: need -addr, -inprocess, -targets or -router")
+		os.Exit(2)
 	}
 
 	kinds := splitCSV(*kindsFlag)
@@ -140,6 +190,7 @@ func main() {
 				Clients: clients, PerClient: *perClient,
 				Scale: *scale, Seed: *seed, Threads: *threads, TimeoutMS: *timeoutMS,
 				Mix: mix, RepeatRate: rate, ZipfS: *zipfS, HotSpecs: *hotSpecs,
+				ClusterBackends: clusterBackends, ClusterPolicy: clusterPolicy,
 			}
 			start := time.Now()
 			rep, err := serve.RunLoad(ctx, c, cfg)
@@ -151,6 +202,9 @@ func main() {
 			label := ""
 			if mix {
 				label = fmt.Sprintf(" repeat=%.2f", rate)
+			}
+			if clusterBackends > 0 {
+				label += fmt.Sprintf(" backends=%d policy=%s", clusterBackends, clusterPolicy)
 			}
 			fmt.Printf("clients=%-3d%s requests=%-4d ok=%-4d rejected=%-3d errors=%-3d cachehits=%-4d wall=%v\n",
 				clients, label, rep.Requests, rep.OK, rep.Rejected, rep.Errors, rep.CacheHits,
@@ -269,6 +323,38 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// loadHTTPClient returns a transport sized for closed-loop load: the
+// default transport keeps only 2 idle conns per host, which churns
+// connections (and ephemeral ports) once -clients goes past that.
+func loadHTTPClient() *http.Client {
+	return &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        512,
+		MaxIdleConnsPerHost: 256,
+		IdleConnTimeout:     90 * time.Second,
+	}}
+}
+
+// routerHealthz fetches a galoisrouter's health snapshot.
+func routerHealthz(ctx context.Context, base string) (*router.Healthz, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var h router.Healthz
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil, err
+	}
+	if !h.OK {
+		return nil, fmt.Errorf("router reports not ok (healthy=%d draining=%v)", h.Healthy, h.Draining)
+	}
+	return &h, nil
 }
 
 func splitCSV(s string) []string {

@@ -66,6 +66,21 @@ type BenchEntry struct {
 	// the key — the same cell under different repeat rates is a different
 	// latency measurement.
 	RepeatPermille int `json:"repeat_permille,omitempty"`
+	// Backends is the backend count of a Mode "serve-cluster" measurement
+	// (galoisload -targets/-router): the cell was driven through a
+	// galoisrouter spreading requests over that many galoisd instances.
+	// Part of the key — the same cell at different cluster sizes is a
+	// different latency measurement. The fingerprint contract is
+	// unaffected: routing is behavior-free, so serve-cluster entries join
+	// the cross-mode fingerprint pool against serve and in-process entries
+	// of the same cell.
+	Backends int `json:"backends,omitempty"`
+	// Policy is the routing policy of a Mode "serve-cluster" measurement
+	// (round-robin | least-loaded | consistent-hash | weighted). Part of
+	// the key: policy changes which backend serves each request — a pure
+	// performance choice whose latency is worth tracking separately — but
+	// never the fingerprint.
+	Policy string `json:"policy,omitempty"`
 	// ChainLen is the receipt-chain length of a Mode "serve-session"
 	// entry (galoisload -sessions): genesis plus the mutation batches the
 	// measured session ran. Part of the key — the fingerprint of a
@@ -92,6 +107,12 @@ func (e BenchEntry) Key() string {
 	}
 	if e.ChainLen > 0 {
 		k += fmt.Sprintf("/l%d", e.ChainLen)
+	}
+	if e.Backends > 0 {
+		k += fmt.Sprintf("/b%d", e.Backends)
+	}
+	if e.Policy != "" {
+		k += "/" + e.Policy
 	}
 	return k
 }
@@ -143,7 +164,13 @@ func (b *Bench) Sort() {
 		if a.RepeatPermille != c.RepeatPermille {
 			return a.RepeatPermille < c.RepeatPermille
 		}
-		return a.ChainLen < c.ChainLen
+		if a.ChainLen != c.ChainLen {
+			return a.ChainLen < c.ChainLen
+		}
+		if a.Backends != c.Backends {
+			return a.Backends < c.Backends
+		}
+		return a.Policy < c.Policy
 	})
 }
 

@@ -1,0 +1,117 @@
+package router
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"galois/internal/rng"
+)
+
+// A Policy picks a backend for one routed request from the current
+// healthy set. candidates is always non-empty and in configured order, so
+// every tie-break is deterministic; key is the request's canonical spec
+// hash (rescache key prefix) and hasKey reports whether the request has
+// one — non-deterministic specs and session creations do not, and
+// key-driven policies fall back to round-robin for them.
+//
+// Policies are pure performance knobs: the determinism-under-cluster test
+// proves the receipts of a job mix are byte-identical under every policy,
+// which is what makes them safe to swap in production.
+type Policy interface {
+	Name() string
+	Pick(candidates []*Backend, key uint64, hasKey bool) *Backend
+}
+
+// NewPolicy resolves a policy by name: "round-robin", "least-loaded",
+// "consistent-hash" or "weighted".
+func NewPolicy(name string) (Policy, error) {
+	switch name {
+	case "", "round-robin":
+		return &roundRobin{}, nil
+	case "least-loaded":
+		return &leastLoaded{}, nil
+	case "consistent-hash":
+		return &consistentHash{}, nil
+	case "weighted":
+		return &weighted{}, nil
+	}
+	return nil, fmt.Errorf("router: unknown policy %q (round-robin|least-loaded|consistent-hash|weighted)", name)
+}
+
+// roundRobin cycles through the healthy set in configured order.
+type roundRobin struct{ next atomic.Uint64 }
+
+func (p *roundRobin) Name() string { return "round-robin" }
+
+func (p *roundRobin) Pick(candidates []*Backend, _ uint64, _ bool) *Backend {
+	n := p.next.Add(1) - 1
+	return candidates[n%uint64(len(candidates))]
+}
+
+// leastLoaded picks the backend with the fewest in-flight proxied
+// requests (the router's own bookkeeping — no probe round-trip on the
+// request path), breaking ties by configured order.
+type leastLoaded struct{}
+
+func (p *leastLoaded) Name() string { return "least-loaded" }
+
+func (p *leastLoaded) Pick(candidates []*Backend, _ uint64, _ bool) *Backend {
+	best := candidates[0]
+	bestLoad := best.InFlight()
+	for _, b := range candidates[1:] {
+		if l := b.InFlight(); l < bestLoad {
+			best, bestLoad = b, l
+		}
+	}
+	return best
+}
+
+// consistentHash scores each candidate by rendezvous (highest random
+// weight) hashing of the spec key against the backend identity: a given
+// spec always lands on the same backend while that backend is healthy, so
+// repeat submissions find the result cache warm, and membership change
+// remaps only the specs that hashed to the lost/gained backend. Requests
+// without a spec key (g-n, session creation) fall back to round-robin.
+type consistentHash struct{ fallback roundRobin }
+
+func (p *consistentHash) Name() string { return "consistent-hash" }
+
+func (p *consistentHash) Pick(candidates []*Backend, key uint64, hasKey bool) *Backend {
+	if !hasKey {
+		return p.fallback.Pick(candidates, 0, false)
+	}
+	best := candidates[0]
+	bestScore := rng.Mix64(key ^ best.id)
+	for _, b := range candidates[1:] {
+		if s := rng.Mix64(key ^ b.id); s > bestScore {
+			best, bestScore = b, s
+		}
+	}
+	return best
+}
+
+// weighted implements smooth weighted round-robin over the healthy set:
+// each pick adds every candidate's weight to its accumulator, picks the
+// largest (ties by configured order), and charges the winner the total
+// weight — yielding the classic evenly interleaved w-proportional
+// sequence.
+type weighted struct{ mu sync.Mutex }
+
+func (p *weighted) Name() string { return "weighted" }
+
+func (p *weighted) Pick(candidates []*Backend, _ uint64, _ bool) *Backend {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := 0
+	best := candidates[0]
+	for _, b := range candidates {
+		b.currentWeight += b.Weight
+		total += b.Weight
+		if b.currentWeight > best.currentWeight {
+			best = b
+		}
+	}
+	best.currentWeight -= total
+	return best
+}

@@ -164,6 +164,15 @@ func (c *Client) SessionVerify(ctx context.Context, id, finalChain string, threa
 	return &out, nil
 }
 
+// Healthz fetches the server's load/liveness snapshot.
+func (c *Client) Healthz(ctx context.Context) (*Healthz, error) {
+	var h Healthz
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
 // Metrics fetches the plain-text metrics dump.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"net/http"
 	"sync"
+	"sync/atomic"
 
 	"galois"
 	"galois/internal/obs"
@@ -28,6 +29,12 @@ type executor struct {
 	queue      chan task
 	workers    sync.WaitGroup
 	pool       *EnginePool
+
+	// inflight counts tasks currently executing on a worker (admitted
+	// tasks still queued are visible as len(queue) instead). It is the
+	// load signal a routing tier reads from GET /healthz, so it must be
+	// cheap: one atomic per task, no locks, no engine checkout.
+	inflight atomic.Int64
 
 	// admitMu orders submissions against shutdown: submitters hold the
 	// read side across the draining check and the queue send, drain holds
@@ -62,9 +69,14 @@ func newExecutor(workers, queueDepth, engineCap int) *executor {
 func (x *executor) worker(wid int) {
 	defer x.workers.Done()
 	for t := range x.queue {
+		x.inflight.Add(1)
 		t.run(wid + 1)
+		x.inflight.Add(-1)
 	}
 }
+
+// InFlight reports the number of tasks currently executing on workers.
+func (x *executor) InFlight() int64 { return x.inflight.Load() }
 
 // count bumps a handler-side counter (metric cell 0, mutex-guarded).
 func (x *executor) count(name string) {

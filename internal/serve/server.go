@@ -605,6 +605,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&buf, "serve.pool.transients %d\n", pc.Transients)
 	fmt.Fprintf(&buf, "serve.queue.depth %d\n", len(s.exec.queue))
 	fmt.Fprintf(&buf, "serve.queue.cap %d\n", s.cfg.QueueDepth)
+	fmt.Fprintf(&buf, "serve.inflight %d\n", s.exec.InFlight())
 	fmt.Fprintf(&buf, "serve.sessions.live %d\n", s.sessions.Live())
 	if s.cache != nil {
 		cc := s.cache.Counters()
@@ -627,6 +628,25 @@ func (s *Server) handleKinds(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// Healthz snapshots the server's load state: the probe target of a routing
+// tier. Deliberately cheap — counters and queue length only, never an
+// engine checkout — so a router polling every backend at a high rate costs
+// the backends nothing.
+func (s *Server) Healthz() Healthz {
+	pc := s.exec.pool.Counters()
+	draining := s.Draining()
+	return Healthz{
+		OK:           !draining,
+		Draining:     draining,
+		QueueDepth:   len(s.exec.queue),
+		QueueCap:     s.cfg.QueueDepth,
+		InFlight:     s.exec.InFlight(),
+		Workers:      s.cfg.Workers,
+		SessionsLive: s.sessions.Live(),
+		Pool:         HealthzPool{Hits: pc.Hits, Misses: pc.Misses, Transients: pc.Transients},
+	}
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "draining": s.Draining()})
+	writeJSON(w, http.StatusOK, s.Healthz())
 }

@@ -79,6 +79,36 @@ type JobResult struct {
 	Trace json.RawMessage `json:"trace,omitempty"`
 }
 
+// Healthz is the GET /healthz response: a cheap load/liveness snapshot —
+// counters only, no engine checkout, no lock beyond the pool's — built for
+// high-frequency polling by a routing tier. OK is false only while the
+// server drains; the load fields let a prober distinguish "alive and idle"
+// from "alive and saturated" (queue_depth near queue_cap with in_flight at
+// the worker count means new submissions are about to see 429s).
+type Healthz struct {
+	OK       bool `json:"ok"`
+	Draining bool `json:"draining"`
+	// QueueDepth is the number of admitted tasks waiting for a worker;
+	// QueueCap is the admission queue bound (full queue => 429).
+	QueueDepth int `json:"queue_depth"`
+	QueueCap   int `json:"queue_cap"`
+	// InFlight is the number of tasks currently executing on workers.
+	InFlight int64 `json:"in_flight"`
+	Workers  int   `json:"workers"`
+	// SessionsLive counts live (un-evicted) sessions pinned on this
+	// backend.
+	SessionsLive int `json:"sessions_live"`
+	// Pool summarizes engine-pool checkout statistics.
+	Pool HealthzPool `json:"pool"`
+}
+
+// HealthzPool is the engine-pool slice of a Healthz snapshot.
+type HealthzPool struct {
+	Hits       uint64 `json:"hits"`
+	Misses     uint64 `json:"misses"`
+	Transients uint64 `json:"transients"`
+}
+
 // VerifyResult is the POST /verify response.
 type VerifyResult struct {
 	Match         bool   `json:"match"`

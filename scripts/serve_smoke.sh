@@ -42,6 +42,19 @@ done
 addr=$(cat "$tmp/addr")
 echo "serve-smoke: galoisd on $addr"
 
+# Health probe target: the cheap counters-only snapshot a routing tier
+# polls. A fresh server is ok, not draining, and reports its queue bound
+# and worker count.
+hz=$(curl -sf "http://$addr/healthz")
+case "$hz" in
+*'"ok":true'*) ;;
+*) echo "serve-smoke: healthz not ok: $hz" >&2; exit 1 ;;
+esac
+case "$hz" in
+*'"queue_cap":'*'"in_flight":'*) echo "serve-smoke: healthz ok" ;;
+*) echo "serve-smoke: healthz missing load fields: $hz" >&2; exit 1 ;;
+esac
+
 # Mixed workload: every registered kind, det and nondet variants, serial
 # and concurrent clients; three receipts replayed through /verify; plus a
 # stateful-session phase (two concurrent session clients, three chained
@@ -87,7 +100,7 @@ echo "serve-smoke: warm-cache ok (fp $fp1, hits $hits_before -> $hits_after)"
 # entire history from nothing but the final receipt.
 echo "serve-smoke: session phase"
 created=$(curl -sf -X POST "http://$addr/sessions" -d '{"kind":"dmr","scale":"small","seed":42}')
-sid=$(printf '%s' "$created" | sed -n 's/.*"id":"\(s[0-9]*\)".*/\1/p')
+sid=$(printf '%s' "$created" | sed -n 's/.*"id":"\(s[0-9a-f-]*\)".*/\1/p')
 prev=$(printf '%s' "$created" | sed -n 's/.*"head":"\([0-9a-f]*\)".*/\1/p')
 if [ -z "$sid" ] || [ -z "$prev" ]; then
     echo "serve-smoke: session create malformed: $created" >&2
