@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint lint-effects test race trace-smoke serve-smoke cluster-smoke bench-compare
+.PHONY: check build vet lint lint-effects test race trace-smoke serve-smoke cluster-smoke bench-compare bench-scaling
 
 # Everything CI runs, in CI's order.
 check: vet lint build test race trace-smoke serve-smoke cluster-smoke bench-compare
@@ -72,3 +72,14 @@ bench-compare:
 	set -- $$files; \
 	if [ $$# -lt 2 ]; then echo "bench-compare: fewer than two BENCH_*.json files, skipping"; exit 0; fi; \
 	$(GO) run ./cmd/benchdiff -wall-report-only $$1 $$2
+
+# Measure a fresh deterministic thread sweep (t1/2/4/8, small scale — CI
+# machines are slow and the scaling_efficiency column is a same-run wall
+# RATIO, so scale only changes noise, not meaning) and emit it as
+# bench-scaling.json. The emitter derives scaling_efficiency from the t1
+# siblings; benchdiff gates >10% drops on matched keys when trajectories
+# carry the column (see DESIGN.md §14.5). Wall times from a 1-CPU CI
+# runner land near 1/threads — the deterministic columns (fingerprints,
+# barriers/round) are the load-bearing part of the artifact.
+bench-scaling:
+	$(GO) run ./cmd/repro -bench-json bench-scaling.json -bench-sweep 1,2,4,8 -threads 1 -scale small

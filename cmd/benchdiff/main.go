@@ -20,6 +20,12 @@
 //     exact where counts are small and sub-ppm-tolerant where runs
 //     allocate millions of objects. Skipped entirely when the OLD file
 //     predates allocation columns (schema v1).
+//   - Scaling efficiency: NEW's scaling_efficiency (wall_t1 / (threads ×
+//     wall_tN), computed by the emitter from same-file t1 siblings) more
+//     than 10% below OLD's on a matched key is a regression, always fatal.
+//     The ratio divides out machine speed — both walls come from one
+//     back-to-back measurement — so it stays gateable where raw wall is
+//     noise. Skipped where either side lacks the column.
 //
 // Fingerprint changes between files with matching keys are also fatal:
 // the trajectory is supposed to isolate performance movement from
@@ -76,6 +82,13 @@ type report struct {
 	wallRegressions  []change
 	allocRegressions []change
 	behaviorChanges  []change
+	// scalingRegressions are matched-key drops in scaling_efficiency beyond
+	// 10%. Always fatal: efficiency is a wall-time *ratio* of sibling
+	// entries measured back-to-back on one machine, so the machine-speed
+	// noise that makes raw wall gating unreliable in CI largely divides
+	// out — a >10% drop means the parallel path got structurally slower
+	// relative to its own serial baseline.
+	scalingRegressions []change
 	// cacheMoves tracks cache_hit_permille movement on matched keys.
 	// Informational only, never fatal: hit rate is a property of the
 	// workload mix the measurement ran, not of the code under test — what
@@ -201,6 +214,20 @@ func diff(old, new *obs.Bench, wallThreshold float64) report {
 				fmt.Sprintf("allocs/op %d -> %d (+%d)",
 					oe.AllocsPerOp, ne.AllocsPerOp, ne.AllocsPerOp-oe.AllocsPerOp)})
 		}
+		// Scaling-efficiency gate: compared only where both files computed
+		// the column (threads > 1 with a t1 sibling in the same document).
+		// A drop beyond 10% of the old value fails hard — see the report
+		// field for why this ratio is gateable where raw wall is not.
+		if oe.ScalingEfficiency > 0 && ne.ScalingEfficiency > 0 {
+			drop := 1 - ne.ScalingEfficiency/oe.ScalingEfficiency
+			// The epsilon keeps an exactly-10% drop on the allowed side of
+			// the boundary despite float division.
+			if drop > 0.10+1e-9 {
+				r.scalingRegressions = append(r.scalingRegressions, change{key,
+					fmt.Sprintf("scaling_efficiency %.3f -> %.3f (%.1f%% drop)",
+						oe.ScalingEfficiency, ne.ScalingEfficiency, drop*100)})
+			}
+		}
 		if oe.CacheHitPermille != ne.CacheHitPermille {
 			r.cacheMoves = append(r.cacheMoves, change{key,
 				fmt.Sprintf("cache_hit_permille %d -> %d (informational)",
@@ -270,6 +297,7 @@ func main() {
 		fmt.Printf("added %s\n", k)
 	}
 	printChanges("WALL", r.wallRegressions)
+	printChanges("SCALING", r.scalingRegressions)
 	printChanges("ALLOC", r.allocRegressions)
 	printChanges("CACHE", r.cacheMoves)
 	printChanges("BEHAVIOR", r.behaviorChanges)
@@ -277,7 +305,8 @@ func main() {
 		fmt.Println("note: allocation columns absent in one file; allocs not compared")
 	}
 
-	fail := len(r.behaviorChanges) > 0 || len(r.allocRegressions) > 0
+	fail := len(r.behaviorChanges) > 0 || len(r.allocRegressions) > 0 ||
+		len(r.scalingRegressions) > 0
 	if !*wallReportOnly && len(r.wallRegressions) > 0 {
 		fail = true
 	}

@@ -399,3 +399,35 @@ func TestDiffClusterSweepGroup(t *testing.T) {
 		t.Fatalf("cluster sweep drift not flagged: %+v", r)
 	}
 }
+
+func TestDiffScalingEfficiencyGate(t *testing.T) {
+	withEff := func(eff float64) obs.BenchEntry {
+		e := entry("bfs", 100, 0, "", "aa")
+		e.ScalingEfficiency = eff
+		return e
+	}
+	// Exactly -10% is allowed; beyond fails hard.
+	old := bench(withEff(0.80))
+	r := diff(old, bench(withEff(0.72)), 0.10)
+	if len(r.scalingRegressions) != 0 {
+		t.Fatalf("-10%% flagged: %+v", r.scalingRegressions)
+	}
+	r = diff(old, bench(withEff(0.71)), 0.10)
+	if len(r.scalingRegressions) != 1 {
+		t.Fatalf("-11%% not flagged: %+v", r.scalingRegressions)
+	}
+	// Either side lacking the column (0 = no t1 sibling) skips the gate.
+	r = diff(old, bench(withEff(0)), 0.10)
+	if len(r.scalingRegressions) != 0 {
+		t.Fatalf("absent NEW column flagged: %+v", r.scalingRegressions)
+	}
+	r = diff(bench(withEff(0)), bench(withEff(0.5)), 0.10)
+	if len(r.scalingRegressions) != 0 {
+		t.Fatalf("absent OLD column flagged: %+v", r.scalingRegressions)
+	}
+	// Improvement is fine.
+	r = diff(old, bench(withEff(0.95)), 0.10)
+	if len(r.scalingRegressions) != 0 {
+		t.Fatalf("improvement flagged: %+v", r.scalingRegressions)
+	}
+}

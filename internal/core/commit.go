@@ -1,131 +1,105 @@
 package core
 
-import (
-	"math/bits"
-
-	"galois/internal/scan"
-)
+// gatherLane is one worker's share of a round's gather, written only by
+// its owning worker during the execute phase: the failed tasks of the
+// worker's static window range (in range order) and the children its
+// committed tasks produced. The pad keeps neighboring lanes' slice headers
+// off each other's cache lines — the headers are rewritten every append.
+type gatherLane[T any] struct {
+	failed   []*detTask[T]
+	children []child[T]
+	_        [128 - 2*24]byte // two 24-byte slice headers, padded to 128
+}
 
 // commitCollector owns the end-of-round gather of the DIG scheduler: the
-// children of committed tasks are collected in window order and failed
-// tasks are compacted in front of the untried remainder (failed tasks keep
-// their priority). Two pipelines produce the identical result:
+// children of committed tasks are collected and failed tasks are compacted
+// in front of the untried remainder (failed tasks keep their priority).
+// Two pipelines produce the identical result:
 //
-//   - gather: the serial walk on worker 0 (the differential-testing oracle,
-//     and the cheaper pipeline for small windows);
-//   - scanCounts + place: the PBBS-style deterministic compaction — each
-//     worker records per-chunk counts during the execute phase, an
-//     exclusive scan over the chunk counts (one entry per chunk, not per
-//     task) turns them into output offsets, and all workers then write
-//     failed pointers and children into slots that are pure functions of
-//     each task's window index. Chunk boundaries are pure functions of
-//     (w, chunk), so concatenating chunks in index order reproduces the
-//     serial append/compaction order exactly.
+//   - gather: the serial walk (the differential-testing oracle, and the
+//     pipeline of batched sub-parallel rounds);
+//   - per-worker lanes: during the execute phase each worker appends its
+//     static range's failed tasks and children to its own lane, so the
+//     gather costs no extra phase and no extra barrier. Concatenating the
+//     failed lanes in tid order reproduces the serial compaction order
+//     exactly (static ranges are ascending in tid, range order is window
+//     order). Children lanes accumulate across the generation's rounds and
+//     are merged once at generation end — their order is irrelevant,
+//     because every generation is sorted by globally-unique child keys
+//     ((parent, k), or (pre, parent, k) under preassigned ids) before
+//     forming the next, so any deterministic concatenation yields the same
+//     next generation.
 //
-// All buffers are engine-retained scratch: the produced buffer, the chunk
-// count arrays, the scan's block scratch and the failed-task staging area
-// keep their capacity across rounds and runs, so a reused engine gathers
-// without allocating.
+// All buffers are engine-retained scratch: the produced buffer and every
+// lane keep their capacity across rounds and runs, so a reused engine
+// gathers without allocating.
 type commitCollector[T any] struct {
 	produced []child[T]
+	lanes    []gatherLane[T]
+}
 
-	// Parallel-gather scratch: per-chunk counts (scanned in place into
-	// exclusive offsets), the scan's block buffers, and the staging area
-	// failed tasks are placed into before the serial copy back into the
-	// pending list (placement cannot write next[w-nf:w] directly while
-	// other placers still read cur, which aliases next[:w]).
-	failCounts  []int64
-	childCounts []int64
-	scanScratch scan.Scratch
-	failScratch []*detTask[T]
+// ensureLanes grows the lane set to at least n workers. Serial (pre-fork).
+func (cc *commitCollector[T]) ensureLanes(n int) {
+	if len(cc.lanes) < n {
+		lanes := make([]gatherLane[T], n)
+		copy(lanes, cc.lanes)
+		cc.lanes = lanes
+	}
 }
 
 // reset prepares the collector for a new generation, keeping capacity.
-func (cc *commitCollector[T]) reset() { cc.produced = cc.produced[:0] }
-
-// prepareCounts sizes the per-chunk count arrays for a gatherPar round of
-// r.w tasks in chunks of r.chunk. No zeroing: every chunk is claimed by
-// exactly one worker during the execute phase, which overwrites both slots.
-func (cc *commitCollector[T]) prepareCounts(r *roundExecutor[T]) {
-	nchunks := int((int64(r.w) + r.chunk - 1) / r.chunk)
-	if cap(cc.failCounts) < nchunks {
-		n := 1 << bits.Len(uint(nchunks-1))
-		cc.failCounts = make([]int64, n)
-		cc.childCounts = make([]int64, n)
+func (cc *commitCollector[T]) reset() {
+	cc.produced = cc.produced[:0]
+	for i := range cc.lanes {
+		cc.lanes[i].failed = cc.lanes[i].failed[:0]
+		cc.lanes[i].children = cc.lanes[i].children[:0]
 	}
-	cc.failCounts = cc.failCounts[:nchunks]
-	cc.childCounts = cc.childCounts[:nchunks]
 }
 
-// scanCounts is the serial heart of the parallel gather (a barrier
-// callback, so all execute-phase writes are visible and no worker runs):
-// exclusive scans turn the per-chunk counts into placement offsets, the
-// produced buffer grows to its final size for this round, and the staging
-// area for failed tasks is sized. O(chunks), not O(window).
-func (cc *commitCollector[T]) scanCounts(r *roundExecutor[T]) {
-	nchunks := len(cc.failCounts)
-	nf := scan.ExclusiveSumScratch(cc.failCounts[:nchunks], r.nthreads, &cc.scanScratch)
-	nch := scan.ExclusiveSumScratch(cc.childCounts[:nchunks], r.nthreads, &cc.scanScratch)
-	committed := r.w - int(nf)
-	if committed == 0 {
+// mergeFailed closes a parallel round's gather (a barrier callback, so all
+// execute-phase lane writes are visible and no worker runs): concatenate
+// the per-worker failed lanes, in tid order, into the failed-first prefix
+// next[w-nf:w] — the same contents the serial backward compaction produces
+// — and return nf. O(nf), not O(window).
+func (cc *commitCollector[T]) mergeFailed(r *roundExecutor[T]) int {
+	nf := 0
+	for i := 0; i < r.nthreads; i++ {
+		nf += len(cc.lanes[i].failed)
+	}
+	if nf == r.w {
 		// The max-id task in every round owns all of its marks by
 		// construction (§3.2).
 		panic("galois: deterministic round committed no tasks")
 	}
-	r.nf = int(nf)
-	base := len(cc.produced)
-	r.childBase = base
-	need := base + int(nch)
-	if need > cap(cc.produced) {
-		grown := make([]child[T], need, max(need, 2*cap(cc.produced)))
-		copy(grown, cc.produced)
-		cc.produced = grown
-	} else {
-		cc.produced = cc.produced[:need]
+	j := r.w - nf
+	for i := 0; i < r.nthreads; i++ {
+		lane := &cc.lanes[i]
+		j += copy(r.next[j:r.w], lane.failed)
+		lane.failed = lane.failed[:0]
 	}
-	if int(nf) > cap(cc.failScratch) {
-		cc.failScratch = make([]*detTask[T], 1<<bits.Len(uint(nf-1)))
-	}
+	return nf
 }
 
-// place is one worker's share of the parallel gather: claim chunks and
-// write each task's outcome into its deterministic slot — failed tasks into
-// the staging area at the chunk's scanned fail offset, children into the
-// produced buffer at the chunk's scanned child offset. Within a chunk both
-// offsets advance in window-index order, so the global result equals the
-// serial walk's append order; across chunks the exclusive scan guarantees
-// the slots are disjoint.
-func (cc *commitCollector[T]) place(r *roundExecutor[T]) {
-	produced := cc.produced
-	for {
-		start := r.plcCtr.Add(r.chunk) - r.chunk
-		if start >= int64(len(r.cur)) {
-			return
-		}
-		end := min(start+r.chunk, int64(len(r.cur)))
-		c := start / r.chunk
-		fo := cc.failCounts[c]
-		co := int64(r.childBase) + cc.childCounts[c]
-		for _, t := range r.cur[start:end] {
-			if t.failed {
-				cc.failScratch[fo] = t
-				fo++
-				continue
-			}
-			if len(t.children) > 0 {
-				co += int64(copy(produced[co:], t.children))
-			}
-			// Drop the commit closure (it can pin arbitrary user state)
-			// but keep the acquired/children buffers: their capacity is
-			// the engine's per-task scratch, recycled by the next fill.
-			t.commitFn = nil
+// mergeProduced concatenates the per-worker children lanes onto the
+// produced buffer (which already holds the children of any serially
+// gathered rounds) and returns it. Runs once per generation, inside the
+// closing coordination callback; the concatenation order is fixed (tid
+// ascending) but immaterial — endGeneration sorts by unique keys next.
+func (cc *commitCollector[T]) mergeProduced(nthreads int) []child[T] {
+	for i := 0; i < nthreads; i++ {
+		lane := &cc.lanes[i]
+		if len(lane.children) > 0 {
+			cc.produced = append(cc.produced, lane.children...)
+			lane.children = lane.children[:0]
 		}
 	}
+	return cc.produced
 }
 
-// gather is the serial pipeline (worker 0 or a barrier callback): harvest
-// children, compact failed tasks, and finish the round. It is the
-// differential-testing oracle the parallel pipeline is compared against.
+// gather is the serial pipeline (a barrier callback: the oracle's round
+// close, or one batched sub-parallel round): harvest children, compact
+// failed tasks, and finish the round. It is the differential-testing
+// oracle the lane pipeline is compared against.
 //
 // The failed compaction is in place: cur and rest are adjacent views of
 // r.next, so moving the nf failed task pointers into next[w-nf:w] makes
@@ -145,7 +119,7 @@ func (cc *commitCollector[T]) gather(r *roundExecutor[T]) {
 		if len(t.children) > 0 {
 			cc.produced = append(cc.produced, t.children...)
 		}
-		// See place: same closure-drop, same buffer retention.
+		// See execRange: same closure-drop, same buffer retention.
 		t.commitFn = nil
 	}
 	if committed == 0 {

@@ -35,6 +35,18 @@ type detTask[T any] struct {
 // it, so repeated runs on one engine allocate (near) nothing.
 func runDeterministic[T any](e *Engine, st *engState[T], items []T, body func(*Ctx[T], T), opt Options, col *stats.Collector) {
 	nthreads := opt.Threads
+	// Profiled runs execute single-threaded: the cachesim tracer orders
+	// accesses by arrival, and only a serial run makes that order a pure
+	// function of the schedule — thread-invariant and machine-invariant,
+	// which is what the §5.4 locality model claims to measure. (The old
+	// dynamic chunk claiming only delivered that on GOMAXPROCS=1, where the
+	// first-scheduled worker drained every chunk; static owner-computes
+	// ranges genuinely interleave, so the serialization must be explicit.)
+	// Committed output is unchanged by the portability property; worker
+	// count never reaches it.
+	if opt.Profile != nil {
+		nthreads = 1
+	}
 	met := e.metricsFor(opt.Metrics)
 
 	st.ensure(nthreads)
@@ -55,8 +67,9 @@ func runDeterministic[T any](e *Engine, st *engState[T], items []T, body func(*C
 	r.sink = opt.Sink
 	r.nthreads = nthreads
 	r.cc = &st.commit
+	st.commit.ensureLanes(nthreads)
 	r.bar = e.barrier(nthreads)
-	r.timed = opt.Sink != nil || met != nil
+	r.barCrossings, r.barMark = 0, 0
 	r.genIdx = 0
 	r.runDone = false
 	r.gen = generation[T]{arena: st.free.take(len(items))}
@@ -113,10 +126,11 @@ func inspectTask[T any](ctx *Ctx[T], t *detTask[T], body func(*Ctx[T], T), tid i
 func execTask[T any](ctx *Ctx[T], t *detTask[T], body func(*Ctx[T], T), tid int, continuation bool) {
 	// Two branches below (prevented, and committed-without-commitFn) never
 	// reset the ctx, yet the mark-clearing epilogue flushes the atomic-op
-	// count through ctx.tid-sharded collector slots. Exec chunks are
-	// claimed dynamically, so a worker can reach its first exec task of a
-	// run on a ctx that was never reset (a fresh ctx carries tid 0) and
-	// would flush into another worker's shard. Pin the tid up front.
+	// count through ctx.tid-sharded collector slots. ctx 0 is shared
+	// between worker 0's parallel phases and the batched serial rounds any
+	// worker may drain inside a coordination callback, so a ctx can reach
+	// exec carrying another caller's tid and would flush into the wrong
+	// shard. Pin the tid up front.
 	ctx.tid = tid
 	if continuation {
 		// §3.3: the prevented flag subsumes mark re-validation — it

@@ -198,13 +198,13 @@ func TestEngineSteadyStateAllocs(t *testing.T) {
 }
 
 // TestEngineSteadyStateAllocsParallelGather is the same claim for the
-// scan-based parallel gather: a window large enough to trigger the
-// count/scan/place pipeline (w >= parGatherMin) must reuse the collector's
-// chunk-count arrays, scan scratch and staging buffer, not allocate them
-// per round.
+// parallel round pipeline: a window large enough to stay above the serial
+// batching bound (w > serialSpan×nthreads) runs static-range phases with
+// gather fused into execute, and must reuse the collector's per-worker
+// lanes and produced buffer, not allocate them per round.
 func TestEngineSteadyStateAllocsParallelGather(t *testing.T) {
 	// Disjoint tasks keep every round at the full window (all commit, no
-	// shrinking), so each round of each run exercises the parallel gather.
+	// shrinking), so each round of each run exercises the parallel pipeline.
 	cells := make([]cell, 2048)
 	items := make([]int, len(cells))
 	for i := range items {

@@ -31,6 +31,10 @@ type coreMetrics struct {
 	phaseInspect *obs.Histogram
 	phaseExec    *obs.Histogram
 	phaseCoord   *obs.Histogram
+	// barriers counts barrier crossings of the round loop — measured at
+	// the crossings themselves (each barrier callback increments once), so
+	// barriers/round is a recorded quantity, not an estimate.
+	barriers *obs.Counter
 }
 
 // newCoreMetrics registers the scheduler instruments in reg, or returns nil
@@ -46,5 +50,6 @@ func newCoreMetrics(reg *obs.Registry) *coreMetrics {
 		phaseInspect:   reg.Histogram("round.inspect_ns", obs.Pow2Bounds(1<<30)),
 		phaseExec:      reg.Histogram("round.execute_ns", obs.Pow2Bounds(1<<30)),
 		phaseCoord:     reg.Histogram("round.coordinate_ns", obs.Pow2Bounds(1<<30)),
+		barriers:       reg.Counter("round.barriers"),
 	}
 }

@@ -1,42 +1,62 @@
 package core
 
 import (
-	"sync/atomic"
-
 	"galois/internal/obs"
 	"galois/internal/para"
 	"galois/internal/stats"
 )
 
-// parGatherMin is the smallest window gathered via per-chunk counts and an
-// exclusive scan (commitCollector.scanCounts/place) instead of worker 0's
-// serial walk. Below it the window fits in a few cache lines and the serial
-// walk is cheaper than the extra barrier the parallel placement needs. A
-// policy constant, not a machine parameter: it selects between two
-// pipelines that produce byte-identical output.
-const parGatherMin = 256
+// serialSpan scales the serial-round threshold: a round of w <= serialSpan
+// × nthreads tasks runs entirely inside one barrier callback (and
+// consecutive such rounds batch into the SAME callback, costing zero extra
+// crossings). Above it the two parallel phases pay for their barriers. A
+// policy constant, not a machine parameter: it selects between pipelines
+// that produce byte-identical output.
+const serialSpan = 2
 
 // roundExecutor runs the DIG generation/round loop of Figure 2 inside one
-// persistent worker region: generation formation, the chunked inspect and
-// execute phases, and the end-of-round coordination. It is retained by the
-// engine per item type and reset per run, so driving it allocates nothing
-// in the steady state.
+// persistent worker region: generation formation, the static-partition
+// inspect and execute phases, and the end-of-round coordination. It is
+// retained by the engine per item type and reset per run, so driving it
+// allocates nothing in the steady state.
 //
-// Coordination is fused into the barriers: the serial end-of-round step
-// (gather or placement bookkeeping, window adaptation, next-round setup)
-// runs as a para.Barrier.WaitDo callback — executed by the last worker to
-// arrive, while every other worker is parked inside the same barrier — so a
-// round costs two barrier crossings instead of the three a dedicated
-// worker-0 coordination block costs. Rounds too small to parallelize run
-// entirely on worker 0 between single barriers (serialRound), and large
-// rounds distribute the gather itself (gatherPar).
+// A parallel round costs exactly two barrier crossings — the semantic floor
+// of the DIG protocol. The inspect→execute rendezvous is required because a
+// task's round outcome (marks.Rec.Prevented) is decided by the LAST
+// inspect that touches any of its locations, so no execute may start before
+// every inspect finishes; the execute→next-inspect rendezvous is required
+// because committed tasks mutate shared state the next round's inspects
+// read. Everything else is fused into those two crossings:
+//
+//   - each worker owns a static range of the window (para.BlockRange), the
+//     same range in inspect and execute, so there are no claim-counter
+//     atomics and a worker re-touches cache-warm task records across phases
+//     (the paper's Opt 2, applied to the round pipeline);
+//   - the gather is fused into the execute phase: each worker appends its
+//     range's failed tasks and produced children to a per-worker lane
+//     (commitCollector.lanes), so no separate count/scan/place phases — and
+//     no third barrier — are needed. Lane order is window order by
+//     construction, and children need no round-level order at all because
+//     every generation is sorted by globally-unique keys before forming the
+//     next (see endGeneration);
+//   - the serial end-of-round step (failed-lane merge, window adaptation,
+//     next-round setup) runs as a para.Barrier.WaitDo callback, executed by
+//     the last worker to arrive while the others are parked in the same
+//     barrier;
+//   - rounds too small to parallelize (w <= serialSpan × nthreads) never
+//     return to the workers: the coordination callback drains the whole
+//     consecutive stretch of them inline (advance), so a batch of k serial
+//     rounds costs ONE crossing instead of k or 2k. The batch boundary —
+//     like every pipeline choice — is a pure function of (w, nthreads,
+//     opt), so batching cannot reach committed output; the window-policy
+//     sequence itself, which IS schedule-bearing, is untouched.
 //
 // All non-atomic fields are written only in serial sections: before the
-// workers fork, inside a WaitDo callback, or on worker 0 during a serial
-// round. The callbacks are pure functions of that shared state, so which
-// worker happens to run them cannot reach committed output; their events
-// are emitted under tid 0, whose buffer no other thread touches while the
-// callback holds the barrier.
+// workers fork or inside a WaitDo callback. The callbacks are pure
+// functions of that shared state, so which worker happens to run them
+// cannot reach committed output; their events are emitted under tid 0,
+// whose buffer no other thread touches while the callback holds the
+// barrier.
 type roundExecutor[T any] struct {
 	st   *engState[T]
 	opt  Options
@@ -70,34 +90,24 @@ type roundExecutor[T any] struct {
 	cur  []*detTask[T]
 	rest []*detTask[T]
 
-	// insCtr/exeCtr/plcCtr distribute cur in chunks during the parallel
-	// phases (inspect, execute, placement).
-	insCtr atomic.Int64
-	exeCtr atomic.Int64
-	plcCtr atomic.Int64
-	chunk  int64
-
-	// serialRound: this round runs entirely on worker 0 (w <= nthreads —
-	// fewer tasks than workers, so forking costs more than it buys).
-	// gatherPar: this round's gather runs via per-chunk counts + scan.
-	// Both are pure functions of (w, nthreads, opt), never of the machine,
+	// serialRound: this round runs entirely inside the coordination
+	// callback (w <= serialSpan*nthreads — forking costs more than it
+	// buys). A pure function of (w, nthreads, opt), never of the machine,
 	// so the pipeline choice is reproducible.
 	serialRound bool
-	gatherPar   bool
-
-	// Parallel-gather round state, written by the scan callback and read
-	// by all placers: failed-task count and the produced buffer's base
-	// offset for this round's children.
-	nf        int
-	childBase int
 
 	win windowPolicy
 	cc  *commitCollector[T]
 
 	// Phase timing (observational). ts0/ts1/ts2 mark round start, inspect
 	// end, execute end; each is written in a serial section.
-	timed         bool
 	ts0, ts1, ts2 int64
+
+	// barCrossings counts barrier crossings (each callback entry is one
+	// crossing); barMark snapshots it at the previous round's close, so
+	// finishRound attributes crossings to rounds. Serial-section writes.
+	barCrossings uint64
+	barMark      uint64
 
 	// Pre-built callbacks for the barrier fusion and the pool, so the hot
 	// loop never constructs a closure (a method value passed to WaitDo
@@ -105,7 +115,6 @@ type roundExecutor[T any] struct {
 	workerFn   func(int)
 	startGenFn func()
 	stampFn    func()
-	scanFn     func()
 	coordFn    func()
 }
 
@@ -116,15 +125,8 @@ func newRoundExecutor[T any](st *engState[T]) *roundExecutor[T] {
 	r.workerFn = r.workerLoop
 	r.startGenFn = r.startGeneration
 	r.stampFn = func() {
-		if r.timed {
-			r.ts1 = obs.Nanotime()
-		}
-	}
-	r.scanFn = func() {
-		if r.timed {
-			r.ts2 = obs.Nanotime()
-		}
-		r.cc.scanCounts(r)
+		r.barCrossings++
+		r.ts1 = obs.Nanotime()
 	}
 	r.coordFn = r.coordinate
 	return r
@@ -138,20 +140,18 @@ func (r *roundExecutor[T]) runAll(pool *para.Pool) {
 }
 
 // workerLoop is one worker's life for the whole run. The structure mirrors
-// Figure 2 with the serial sections fused into barrier callbacks:
+// Figure 2 with every serial section fused into barrier callbacks:
 //
 //	form generation (parallel) ─ barrier[startGeneration]
-//	per round: inspect ─ barrier[stamp] ─ execute ─
-//	           (gatherPar: barrier[scan] ─ place) ─ barrier[coordinate]
-//	serial rounds instead run both phases on worker 0 ─ barrier[coordinate].
+//	per parallel round: inspect own range ─ barrier[stamp] ─
+//	                    execute own range ─ barrier[coordinate]
 //
-// Shared round state (done, serialRound, cur, counters, ...) is written
+// Sub-parallel rounds never appear here: the coordination callbacks drain
+// them inline (advance), so workers only ever see parallel rounds or the
+// end of the generation. Shared round state (done, w, cur, ...) is written
 // ONLY inside barrier callbacks; workers read it strictly between barrier
-// crossings. This is what keeps every worker taking the same branches — and
-// therefore the same number of barrier crossings — each round; a write
-// outside a callback (e.g. worker 0 coordinating a serial round in the
-// open) can be observed torn across rounds by a slow worker, desynchronizing
-// the barrier pairing.
+// crossings, which is what keeps every worker taking the same branches —
+// and therefore the same number of barrier crossings — each round.
 func (r *roundExecutor[T]) workerLoop(tid int) {
 	ctx := r.ctxs[tid]
 	bar := r.bar
@@ -159,27 +159,10 @@ func (r *roundExecutor[T]) workerLoop(tid int) {
 		r.formGeneration(tid)
 		bar.WaitDo(r.startGenFn)
 		for !r.done {
-			if r.serialRound {
-				// Worker 0 runs both phases; coordination still happens
-				// inside the barrier callback. It must: coordinate mutates
-				// the shared round state (done, serialRound, cur, ...) that
-				// the other workers read at the top of this loop, and those
-				// reads are only ordered against writes made while they
-				// were parked in the barrier.
-				if tid == 0 {
-					r.serialPhases(ctx)
-				}
-				bar.WaitDo(r.coordFn)
-				continue
-			}
-			r.inspectPhase(ctx, tid)
+			lo, hi := para.BlockRange(r.w, r.nthreads, tid)
+			r.inspectRange(ctx, tid, lo, hi)
 			bar.WaitDo(r.stampFn)
-			r.execPhase(ctx, tid)
-			if r.gatherPar {
-				//detlint:ordered the scan callback orders every chunk's counts into exclusive offsets; placement below writes disjoint slots that are pure functions of those offsets and each task's window index
-				bar.WaitDo(r.scanFn)
-				r.cc.place(r)
-			}
+			r.execRange(ctx, tid, lo, hi)
 			bar.WaitDo(r.coordFn)
 		}
 		if r.runDone {
@@ -192,9 +175,10 @@ func (r *roundExecutor[T]) workerLoop(tid int) {
 // formItems/formChildren: fill, locality interleave and id assignment fused
 // into one pass over a static block partition. Output slot p is a pure
 // function of p — its source index comes from interleaveSrc, its id is p+1
-// — so the partition cannot perturb the deterministic order (§3.2). Under
-// the serial-coordinator oracle, worker 0 instead runs the historical
-// serial fill/interleave/assignIDs passes.
+// — so the partition cannot perturb the deterministic order (§3.2), and id
+// assignment never enters a serial section (the paper's Opt 3). Under the
+// serial-coordinator oracle, worker 0 instead runs the historical serial
+// fill/interleave/assignIDs passes.
 func (r *roundExecutor[T]) formGeneration(tid int) {
 	if r.opt.SerialCoordinator {
 		if tid == 0 {
@@ -260,8 +244,10 @@ func (r *roundExecutor[T]) beginGeneration() {
 // startGeneration opens the freshly formed generation: barrier callback
 // after the formation pass. The commit collector is reset here — after
 // formation, because formChildren aliases its produced buffer until every
-// item has been copied out.
+// item has been copied out. Like coordinate, it drains any leading
+// stretch of sub-parallel rounds before releasing the workers.
 func (r *roundExecutor[T]) startGeneration() {
+	r.barCrossings++
 	r.cc.reset()
 	r.formItems, r.formChildren = nil, nil
 	emit(r.sink, 0, obs.Event{Kind: obs.KindGenStart, Gen: r.genIdx,
@@ -269,12 +255,11 @@ func (r *roundExecutor[T]) startGeneration() {
 	r.next = r.gen.tasks
 	r.round = -1
 	r.done = false
-	r.setupRound()
+	r.advance()
 }
 
 // setupRound forms the next round from the pending tasks, or marks the
-// generation done. Serial (a barrier callback, or worker 0 in a serial
-// round).
+// generation done. Serial (a barrier callback).
 func (r *roundExecutor[T]) setupRound() {
 	if len(r.next) == 0 {
 		r.done = true
@@ -286,135 +271,124 @@ func (r *roundExecutor[T]) setupRound() {
 	r.round++
 	emit(r.sink, 0, obs.Event{Kind: obs.KindRoundStart, Gen: r.genIdx, Round: r.round,
 		Args: [4]int64{int64(w), int64(len(r.rest))}})
-	chunk := int64(w / (r.nthreads * 8))
-	if chunk < 1 {
-		chunk = 1
-	}
-	if chunk > 64 {
-		chunk = 64
-	}
-	r.chunk = chunk
-	r.insCtr.Store(0)
-	r.exeCtr.Store(0)
-	r.plcCtr.Store(0)
-	r.serialRound = !r.opt.SerialCoordinator && (r.nthreads == 1 || w <= r.nthreads)
-	r.gatherPar = !r.opt.SerialCoordinator && !r.serialRound &&
-		r.nthreads > 1 && w >= parGatherMin
-	if r.gatherPar {
-		r.cc.prepareCounts(r)
-	}
-	if r.timed {
-		r.ts0 = obs.Nanotime()
-	}
+	r.serialRound = !r.opt.SerialCoordinator &&
+		(r.nthreads == 1 || w <= serialSpan*r.nthreads)
+	r.ts0 = obs.Nanotime()
 }
 
-// inspectPhase is one worker's share of Phase 1 (Figure 2 line 14): claim
-// chunks of the window and run each task through its failsafe point in
-// inspect mode.
-func (r *roundExecutor[T]) inspectPhase(ctx *Ctx[T], tid int) {
-	for {
-		start := r.insCtr.Add(r.chunk) - r.chunk
-		if start >= int64(len(r.cur)) {
-			return
-		}
-		end := min(start+r.chunk, int64(len(r.cur)))
-		for _, t := range r.cur[start:end] {
-			inspectTask(ctx, t, r.body, tid, r.opt.Continuation)
-		}
-	}
-}
-
-// execPhase is one worker's share of Phase 2 (Figure 2 line 19): claim
-// chunks and commit or fail each task of the window. Under gatherPar it
-// also records the chunk's failed-task and produced-children counts — the
-// input of the exclusive scan that reproduces the serial gather order. The
-// chunk index is start/chunk (claims advance in chunk-sized steps), so each
-// count slot has exactly one writer.
-func (r *roundExecutor[T]) execPhase(ctx *Ctx[T], tid int) {
-	counting := r.gatherPar
-	for {
-		start := r.exeCtr.Add(r.chunk) - r.chunk
-		if start >= int64(len(r.cur)) {
-			return
-		}
-		end := min(start+r.chunk, int64(len(r.cur)))
-		var nf, nch int64
-		for _, t := range r.cur[start:end] {
-			execTask(ctx, t, r.body, tid, r.opt.Continuation)
-			if t.failed {
-				nf++
-			} else {
-				nch += int64(len(t.children))
-			}
-		}
-		if counting {
-			c := start / r.chunk
-			r.cc.failCounts[c] = nf
-			r.cc.childCounts[c] = nch
-		}
-	}
-}
-
-// serialPhases executes a sub-parallel round's inspect and execute phases
-// entirely on worker 0, as plain loops (no claim counters). Coordination is
-// NOT part of it — the caller runs coordinate as a barrier callback, the
-// only place shared round state may be written (see workerLoop). The event
-// sequence is identical to the parallel pipelines' by construction — every
-// emission happens in the shared setupRound/finishRound/endGeneration path.
-func (r *roundExecutor[T]) serialPhases(ctx *Ctx[T]) {
-	for _, t := range r.cur {
-		inspectTask(ctx, t, r.body, 0, r.opt.Continuation)
-	}
-	if r.timed {
-		r.ts1 = obs.Nanotime()
-	}
-	for _, t := range r.cur {
-		execTask(ctx, t, r.body, 0, r.opt.Continuation)
-	}
-}
-
-// coordinate is the end-of-round serial section (a barrier callback, or
-// the tail of a serial round on worker 0): complete the gather, adapt the
-// window, set up the next round, and close the generation when the pending
-// list is empty.
-func (r *roundExecutor[T]) coordinate() {
-	if r.gatherPar {
-		// Placement is complete: failed tasks staged in failScratch in
-		// ascending window order, children already at their scanned
-		// offsets. One copy re-forms the failed-first prefix of the
-		// pending list — the same next[w-nf:w] contents the serial
-		// backward compaction produces (gather's in-place scan cannot be
-		// run concurrently with placement because cur aliases next[:w]).
-		copy(r.next[r.w-r.nf:r.w], r.cc.failScratch[:r.nf])
-		r.finishRound(r.w-r.nf, r.nf)
-	} else {
-		if r.timed {
-			r.ts2 = obs.Nanotime()
-		}
-		r.cc.gather(r)
-	}
+// advance moves the generation forward from inside a barrier callback:
+// set up the next round and, while it is sub-parallel, run it right here —
+// both phases as plain loops on the callback's goroutine (every other
+// worker is parked in the barrier, so ctx 0 has exactly one user), the
+// gather as the serial walk. A contended stretch of shrunken windows
+// therefore crosses ONE barrier total instead of one (or two) per round —
+// this is the round-batching the commit-ratio window enables: the window
+// policy shrinks w under conflict, w <= serialSpan*nthreads flags the
+// round serial, and the batch ends (deterministically) the moment the
+// policy grows the window back above the threshold. When the pending list
+// empties the generation is closed in the same callback.
+func (r *roundExecutor[T]) advance() {
 	r.setupRound()
+	for !r.done && r.serialRound {
+		ctx := r.ctxs[0]
+		for _, t := range r.cur {
+			inspectTask(ctx, t, r.body, 0, r.opt.Continuation)
+		}
+		r.ts1 = obs.Nanotime()
+		for _, t := range r.cur {
+			execTask(ctx, t, r.body, 0, r.opt.Continuation)
+		}
+		r.ts2 = obs.Nanotime()
+		r.cc.gather(r)
+		r.setupRound()
+	}
 	if r.done {
 		r.endGeneration()
 	}
 }
 
+// inspectRange runs Phase 1 (Figure 2 line 14) over the worker's static
+// share of the window: each task runs through its failsafe point in
+// inspect mode, write-max-marking its neighborhood.
+func (r *roundExecutor[T]) inspectRange(ctx *Ctx[T], tid, lo, hi int) {
+	for _, t := range r.cur[lo:hi] {
+		inspectTask(ctx, t, r.body, tid, r.opt.Continuation)
+	}
+}
+
+// execRange runs Phase 2 (Figure 2 line 19) over the same static range the
+// worker inspected — the task records are still cache-warm from Phase 1.
+// The gather is fused in: failed tasks and produced children go to the
+// worker's own lane, eliminating the separate count/scan/place phases (and
+// their barrier). Under the serial-coordinator oracle the harvest is left
+// to the serial gather walk instead, preserving the historical pipeline as
+// the differential baseline.
+func (r *roundExecutor[T]) execRange(ctx *Ctx[T], tid, lo, hi int) {
+	if r.opt.SerialCoordinator {
+		for _, t := range r.cur[lo:hi] {
+			execTask(ctx, t, r.body, tid, r.opt.Continuation)
+		}
+		return
+	}
+	lane := &r.cc.lanes[tid]
+	failed := lane.failed[:0]
+	children := lane.children
+	for _, t := range r.cur[lo:hi] {
+		execTask(ctx, t, r.body, tid, r.opt.Continuation)
+		if t.failed {
+			failed = append(failed, t)
+			continue
+		}
+		if len(t.children) > 0 {
+			children = append(children, t.children...)
+		}
+		// Drop the commit closure (it can pin arbitrary user state) but
+		// keep the acquired/children buffers: their capacity is the
+		// engine's per-task scratch, recycled by the next fill.
+		t.commitFn = nil
+	}
+	lane.failed = failed
+	lane.children = children
+}
+
+// coordinate is the end-of-round serial section of a parallel round (a
+// barrier callback): merge the per-worker failed lanes back into the
+// pending list, record the round, and advance — possibly through a whole
+// batch of sub-parallel rounds — before the workers are released.
+func (r *roundExecutor[T]) coordinate() {
+	r.barCrossings++
+	r.ts2 = obs.Nanotime()
+	if r.opt.SerialCoordinator {
+		r.cc.gather(r)
+	} else {
+		nf := r.cc.mergeFailed(r)
+		r.finishRound(r.w-nf, nf)
+	}
+	r.advance()
+}
+
 // finishRound records the completed round: phase durations, statistics,
 // trace events, the window decision, and the pending-list trim. Shared by
-// all three round pipelines so their event sequences cannot diverge.
+// every round pipeline so their event sequences cannot diverge.
 func (r *roundExecutor[T]) finishRound(committed, nf int) {
-	if r.timed {
-		ts3 := obs.Nanotime()
-		insNS, exeNS, coNS := r.ts1-r.ts0, r.ts2-r.ts1, ts3-r.ts2
-		emit(r.sink, 0, obs.Event{Kind: obs.KindPhases, Gen: r.genIdx, Round: r.round,
-			Args: [4]int64{insNS, exeNS, coNS}})
-		if r.met != nil {
-			r.met.phaseInspect.Observe(0, insNS)
-			r.met.phaseExec.Observe(0, exeNS)
-			r.met.phaseCoord.Observe(0, coNS)
-		}
+	ts3 := obs.Nanotime()
+	insNS, exeNS, coNS := r.ts1-r.ts0, r.ts2-r.ts1, ts3-r.ts2
+	crossed := r.barCrossings - r.barMark
+	r.barMark = r.barCrossings
+	// The crossings arg rides in KindPhases because, like the durations, it
+	// depends on the thread count (pipeline choice) — KindPhases args are
+	// excluded from the canonical sequence, which must be thread-invariant.
+	emit(r.sink, 0, obs.Event{Kind: obs.KindPhases, Gen: r.genIdx, Round: r.round,
+		Args: [4]int64{insNS, exeNS, coNS, int64(crossed)}})
+	if r.met != nil {
+		r.met.phaseInspect.Observe(0, insNS)
+		r.met.phaseExec.Observe(0, exeNS)
+		r.met.phaseCoord.Observe(0, coNS)
+		r.met.barriers.Add(0, crossed)
 	}
 	r.col.Round(len(r.cur), committed)
+	r.col.Phase(insNS, exeNS, coNS)
+	r.col.Barriers(crossed)
 	emit(r.sink, 0, obs.Event{Kind: obs.KindRoundEnd, Gen: r.genIdx, Round: r.round,
 		Args: [4]int64{int64(len(r.cur)), int64(committed), int64(nf)}})
 	if r.opt.Continuation {
@@ -440,13 +414,14 @@ func (r *roundExecutor[T]) finishRound(committed, nf int) {
 	r.next = r.next[r.w-nf:]
 }
 
-// endGeneration closes the exhausted generation: sort the produced
-// children, recycle the arena, and stage the next generation's formation —
-// or mark the run done. Runs in the last round's coordination (all other
-// workers parked), so the sort's internal fork-join is safe here.
+// endGeneration closes the exhausted generation: merge the per-worker
+// children lanes into the produced buffer, sort it, recycle the arena, and
+// stage the next generation's formation — or mark the run done. Runs
+// inside a coordination callback (all other workers parked), so the sort's
+// internal fork-join is safe here.
 func (r *roundExecutor[T]) endGeneration() {
 	st := r.st
-	produced := r.cc.produced
+	produced := r.cc.mergeProduced(r.nthreads)
 	emit(r.sink, 0, obs.Event{Kind: obs.KindGenEnd, Gen: r.genIdx,
 		Args: [4]int64{int64(len(produced))}})
 	if len(produced) == 0 {

@@ -11,10 +11,10 @@ import (
 // tracedOrderSensitive runs an order-sensitive conflict workload (with
 // dynamically created children) under the given options with a trace
 // attached, returning the cell fingerprint and the canonical event lines.
-// The workload covers every round pipeline when driven with a large
-// initial window: early rounds exceed parGatherMin (scan-based gather),
-// conflict-driven shrinking passes through the classic chunked pipeline,
-// and generation tails drop under the thread count (serial fast path).
+// The workload covers both round pipelines when driven with a large
+// initial window: early rounds exceed serialSpan×nthreads (parallel
+// static-range phases with fused gather), and conflict-driven shrinking
+// plus generation tails drop rounds into the batched serial path.
 func tracedOrderSensitive(t *testing.T, ntasks int, opt Options) (uint64, []string) {
 	t.Helper()
 	const ncells = 48
@@ -54,12 +54,12 @@ func tracedOrderSensitive(t *testing.T, ntasks int, opt Options) (uint64, []stri
 }
 
 // TestParallelCoordinatorMatchesSerialOracle is the differential claim of
-// the parallel round coordination: for every pipeline mix — windows large
-// enough for the scan-based gather, classic chunked rounds, and serial
-// fast-path rounds — the parallel coordinator commits a byte-identical
-// fingerprint AND an identical canonical event sequence to the retired
-// serial worker-0 coordinator, across thread counts and with and without
-// the continuation optimization.
+// the fused round pipeline: for every pipeline mix — parallel rounds on
+// static owner-computes ranges with gather fused into execute, and batched
+// serial rounds drained inside one barrier callback — the default pipeline
+// commits a byte-identical fingerprint AND an identical canonical event
+// sequence to the serial worker-0 oracle, across thread counts and with
+// and without the continuation optimization.
 func TestParallelCoordinatorMatchesSerialOracle(t *testing.T) {
 	const ntasks = 3000
 	for _, winInit := range []int{0, 4096} {
@@ -137,6 +137,61 @@ func TestSerialFastPathPinnedEvents(t *testing.T) {
 				for i := range want {
 					if got[i] != want[i] {
 						t.Fatalf("event %d = %q, want %q", i, got[i], want[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestForcedConflictSerialFallback drives the scheduler's degenerate case:
+// every task acquires one shared cell, so each round commits exactly one
+// task and the window policy shrinks to its floor. Those tiny rounds all
+// fall below serialSpan×nthreads, forcing the batched serial path to carry
+// essentially the whole run at every thread count — the deterministic
+// fallback when contention defeats parallelism. The run must commit the
+// same fingerprint and canonical event sequence as the unbatched serial
+// oracle, and the order-sensitive cell value pins that the one-commit
+// rounds happened in deterministic id order.
+func TestForcedConflictSerialFallback(t *testing.T) {
+	const ntasks = 60
+	items := make([]int, ntasks)
+	for i := range items {
+		items[i] = i
+	}
+	run := func(threads int, serialCoord bool, cont bool) (uint64, []string) {
+		var c cell
+		tr := obs.NewTrace(threads)
+		st := ForEach(items, func(ctx *Ctx[int], i int) {
+			ctx.Acquire(&c.Lockable)
+			ctx.OnCommit(func(*Ctx[int]) { c.value = c.value*31 + uint64(i+1) })
+		}, optsFor(Deterministic, threads, func(o *Options) {
+			o.Continuation = cont
+			o.Sink = tr
+			o.SerialCoordinator = serialCoord
+		}))
+		if st.Commits != ntasks {
+			t.Fatalf("commits = %d, want %d", st.Commits, ntasks)
+		}
+		if st.Aborts == 0 {
+			t.Fatal("forced-conflict workload aborted nothing")
+		}
+		return c.value, tr.CanonicalLines()
+	}
+	for _, cont := range []bool{true, false} {
+		refFP, refEvents := run(2, true, cont)
+		for _, threads := range []int{1, 2, 4, 8} {
+			t.Run(fmt.Sprintf("cont=%v/t%d", cont, threads), func(t *testing.T) {
+				fp, events := run(threads, false, cont)
+				if fp != refFP {
+					t.Fatalf("fingerprint %#x, serial oracle %#x", fp, refFP)
+				}
+				if len(events) != len(refEvents) {
+					t.Fatalf("%d events, serial oracle %d", len(events), len(refEvents))
+				}
+				for i := range events {
+					if events[i] != refEvents[i] {
+						t.Fatalf("event %d = %q, serial oracle %q", i, events[i], refEvents[i])
 					}
 				}
 			})

@@ -36,18 +36,23 @@ func BenchEntry(r Run, scale string) obs.BenchEntry {
 		ratio = float64(commits) / float64(commits+aborts)
 	}
 	return obs.BenchEntry{
-		App:         r.App,
-		Variant:     r.Variant,
-		Sched:       variantSched(r.Variant),
-		Threads:     r.Threads,
-		Scale:       scale,
-		WallNS:      r.Elapsed.Nanoseconds(),
-		Commits:     commits,
-		Aborts:      aborts,
-		Rounds:      r.Stats.Rounds,
-		CommitRatio: ratio,
-		MeanWindow:  r.Stats.MeanWindow(),
-		Fingerprint: fmt.Sprintf("%016x", r.Fingerprint),
+		App:               r.App,
+		Variant:           r.Variant,
+		Sched:             variantSched(r.Variant),
+		Threads:           r.Threads,
+		Scale:             scale,
+		WallNS:            r.Elapsed.Nanoseconds(),
+		Commits:           commits,
+		Aborts:            aborts,
+		Rounds:            r.Stats.Rounds,
+		CommitRatio:       ratio,
+		MeanWindow:        r.Stats.MeanWindow(),
+		Fingerprint:       fmt.Sprintf("%016x", r.Fingerprint),
+		Barriers:          r.Stats.Barriers,
+		BarriersPerRound:  r.Stats.BarriersPerRound(),
+		PhaseInspectNS:    r.Stats.PhaseInspectNS,
+		PhaseExecuteNS:    r.Stats.PhaseExecuteNS,
+		PhaseCoordinateNS: r.Stats.PhaseCoordinateNS,
 	}
 }
 

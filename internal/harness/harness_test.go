@@ -146,11 +146,16 @@ func TestTraceEventSequenceThreadInvariant(t *testing.T) {
 }
 
 // TestParallelCoordinationMatchesSerialOracle is the differential claim of
-// the parallel round coordination at application level: for every app,
-// deterministic variant and thread count, the default coordinator (parallel
-// generation formation, barrier-fused coordination, scan-based gather on
-// large windows) commits a byte-identical fingerprint AND an identical
-// canonical event sequence to the retired serial worker-0 coordinator.
+// the fused round pipeline at application level: for every app,
+// deterministic variant and thread count, the default pipeline (parallel
+// generation formation, static owner-computes ranges, gather fused into
+// the execute phase, and serial round batching — small rounds drained
+// inside one barrier callback) commits a byte-identical fingerprint AND an
+// identical canonical event sequence to the serial worker-0 oracle, which
+// runs every round unbatched through the plain inspect/execute/gather
+// sequence. Because the oracle never batches, this is also the
+// round-batching determinism suite: batched and unbatched execution must
+// be observationally identical at every thread count.
 func TestParallelCoordinationMatchesSerialOracle(t *testing.T) {
 	in := smallInputs()
 	oracle := smallInputs()
@@ -381,5 +386,56 @@ func TestEngineSteadyStateAllocs(t *testing.T) {
 				app, engineAllocs, freshAllocs)
 		}
 		t.Logf("%s: allocs/run fresh=%d engine=%d", app, freshAllocs, engineAllocs)
+	}
+}
+
+// TestBarrierAndPhaseCountersConsistent pins the new per-round coordination
+// observability: for a deterministic run, Stats.Barriers (a) is nonzero,
+// (b) is deterministic — two identical runs report the same count, (c)
+// equals the sum of the per-round crossing counts the trace records
+// (KindPhases Args[3]), and (d) is mirrored by the round.barriers metrics
+// counter. Phase wall-time columns must be populated (the round loop
+// always stamps them) and must sum to no more than the run's wall time.
+// None of this instrumentation may perturb the committed fingerprint —
+// the runs here are compared against an uninstrumented baseline.
+func TestBarrierAndPhaseCountersConsistent(t *testing.T) {
+	in := smallInputs()
+	for _, app := range []string{"bfs", "mis"} {
+		base := in.RunOnce(app, "g-d", 2, nil)
+		reg := galois.NewMetrics(2)
+		tr := galois.NewTrace(2)
+		in.Metrics, in.TraceSink = reg, tr
+		r1 := in.RunOnce(app, "g-d", 2, nil)
+		in.Metrics, in.TraceSink = nil, nil
+		r2 := in.RunOnce(app, "g-d", 2, nil)
+
+		if r1.Fingerprint != base.Fingerprint {
+			t.Errorf("%s: instrumented fingerprint %#x != baseline %#x", app, r1.Fingerprint, base.Fingerprint)
+		}
+		if r1.Stats.Barriers == 0 {
+			t.Fatalf("%s: zero barrier crossings recorded", app)
+		}
+		if r1.Stats.Barriers != r2.Stats.Barriers {
+			t.Errorf("%s: barrier count not deterministic: %d vs %d", app, r1.Stats.Barriers, r2.Stats.Barriers)
+		}
+		var fromTrace uint64
+		for _, ev := range tr.Events() {
+			if ev.Kind == obs.KindPhases {
+				fromTrace += uint64(ev.Args[3])
+			}
+		}
+		if fromTrace != r1.Stats.Barriers {
+			t.Errorf("%s: trace records %d crossings, stats %d", app, fromTrace, r1.Stats.Barriers)
+		}
+		if got := reg.Counter("round.barriers").Value(); got != r1.Stats.Barriers {
+			t.Errorf("%s: round.barriers counter %d, stats %d", app, got, r1.Stats.Barriers)
+		}
+		phases := r1.Stats.PhaseInspectNS + r1.Stats.PhaseExecuteNS + r1.Stats.PhaseCoordinateNS
+		if r1.Stats.PhaseInspectNS <= 0 || r1.Stats.PhaseExecuteNS <= 0 || r1.Stats.PhaseCoordinateNS <= 0 {
+			t.Errorf("%s: phase columns not populated: %+v", app, r1.Stats)
+		}
+		if phases > r1.Elapsed.Nanoseconds() {
+			t.Errorf("%s: phase sum %dns exceeds wall %dns", app, phases, r1.Elapsed.Nanoseconds())
+		}
 	}
 }

@@ -92,6 +92,29 @@ type BenchEntry struct {
 	// (runtime mallocs, measured around the whole run; 0 = not measured).
 	AllocsPerOp uint64 `json:"allocs_per_op,omitempty"`
 	BytesPerOp  uint64 `json:"bytes_per_op,omitempty"`
+	// Barriers is the measured number of barrier crossings the run's round
+	// loop performed (deterministic scheduler only; counted at the
+	// crossings themselves). Unlike wall time it is deterministic per
+	// (input, threads), so its movement is a structural change to the
+	// round pipeline, not noise.
+	Barriers uint64 `json:"barriers,omitempty"`
+	// BarriersPerRound is Barriers / Rounds — the coordination-overhead
+	// headline (2.0 is the semantic floor for all-parallel rounds).
+	BarriersPerRound float64 `json:"barriers_per_round,omitempty"`
+	// PhaseInspectNS/PhaseExecuteNS/PhaseCoordinateNS are the run's total
+	// wall time per DIG round phase. Observational (clock-derived), so
+	// they carry measurement noise like WallNS does.
+	PhaseInspectNS    int64 `json:"phase_inspect_ns,omitempty"`
+	PhaseExecuteNS    int64 `json:"phase_execute_ns,omitempty"`
+	PhaseCoordinateNS int64 `json:"phase_coordinate_ns,omitempty"`
+	// ScalingEfficiency is wall_t1 / (threads × wall_tN) for entries with
+	// threads > 1 whose cell has a threads=1 sibling (same app, variant,
+	// scale, mode, load shape) in the same document — 1.0 is perfect
+	// linear scaling, 1/threads means t_N wall equals t_1 wall. Computed
+	// by the emitter (FillScalingEfficiency); 0 = no sibling, not
+	// computed. benchdiff hard-fails on >10% drops at matched keys so
+	// scaling cannot silently backslide.
+	ScalingEfficiency float64 `json:"scaling_efficiency,omitempty"`
 }
 
 // Key identifies an entry for cross-file comparison. Entries measured
@@ -174,9 +197,49 @@ func (b *Bench) Sort() {
 	})
 }
 
+// siblingKey identifies an entry's thread-scaling family: everything Key()
+// keys on except the thread count. Entries sharing a siblingKey are the
+// same measurement at different thread counts.
+func (e BenchEntry) siblingKey() string {
+	t := e.Threads
+	e.Threads = 0
+	k := e.Key()
+	e.Threads = t
+	return k
+}
+
+// FillScalingEfficiency computes ScalingEfficiency for every entry with
+// Threads > 1 that has a Threads == 1 sibling (same app, variant, scale,
+// mode, load shape) in this document: wall_t1 / (threads × wall_tN).
+// Entries without a sibling, or with an unmeasured wall on either side,
+// keep 0. Idempotent — recomputes from wall columns each call.
+func (b *Bench) FillScalingEfficiency() {
+	t1 := make(map[string]int64)
+	for _, e := range b.Entries {
+		if e.Threads == 1 && e.WallNS > 0 {
+			t1[e.siblingKey()] = e.WallNS
+		}
+	}
+	for i := range b.Entries {
+		e := &b.Entries[i]
+		if e.Threads <= 1 || e.WallNS <= 0 {
+			e.ScalingEfficiency = 0
+			continue
+		}
+		base, ok := t1[e.siblingKey()]
+		if !ok {
+			e.ScalingEfficiency = 0
+			continue
+		}
+		e.ScalingEfficiency = float64(base) / (float64(e.Threads) * float64(e.WallNS))
+	}
+}
+
 // WriteFile serializes the document (sorted, indented, trailing newline)
-// to path.
+// to path. Scaling-efficiency columns are (re)derived from the wall
+// columns first, so emitters never fill them by hand.
 func (b *Bench) WriteFile(path string) error {
+	b.FillScalingEfficiency()
 	b.Sort()
 	if b.Schema == "" {
 		b.Schema = BenchSchema

@@ -87,9 +87,15 @@ func (t *Trace) WriteChromeTrace(w io.Writer) error {
 			// durations.
 			ts := roundStart.ts
 			for i, name := range [...]string{"inspect", "execute", "coordinate"} {
+				args := map[string]any{"ns": ev.Args[i]}
+				if name == "coordinate" {
+					// The round's barrier-crossing count rides with the
+					// phase that pays for it.
+					args["barriers"] = ev.Args[3]
+				}
 				out = append(out, chromeEvent{Name: name, Ph: "X",
 					TS: us(ts), Dur: us(ev.Args[i]), PID: pid, TID: 0,
-					Args: map[string]any{"ns": ev.Args[i]}})
+					Args: args})
 				ts += ev.Args[i]
 			}
 		case KindWindow:

@@ -36,11 +36,13 @@ const (
 	// KindWorker is a non-deterministic worker's exit summary.
 	// Args: commits, aborts.
 	KindWorker
-	// KindPhases records the measured wall durations of one DIG round's
-	// three phases. Args: inspect ns, execute ns, coordinate ns. The
-	// durations are observational, like TS: they are excluded from
-	// Canonical(), so the canonical sequence stays machine- and
-	// thread-count-invariant.
+	// KindPhases records the measured per-round coordination cost of one
+	// DIG round. Args: inspect ns, execute ns, coordinate ns, barrier
+	// crossings. The durations are observational, like TS, and the
+	// crossing count depends on the thread count (pipeline choice:
+	// parallel rounds cross two barriers, batched serial rounds amortize
+	// theirs) — so all four args are excluded from Canonical() and the
+	// canonical sequence stays machine- and thread-count-invariant.
 	KindPhases
 
 	// The KindCache* events are emitted by the galoisd result cache
@@ -116,8 +118,9 @@ func (e Event) Canonical() string {
 		// scheduler, where no invariance is claimed.
 		return fmt.Sprintf("worker commits=%d aborts=%d", e.Args[0], e.Args[1])
 	case KindPhases:
-		// The payload is three wall-clock durations — observational like
-		// TS, so the canonical form keeps only the event's position.
+		// The payload is three wall-clock durations plus a thread-dependent
+		// barrier-crossing count — observational like TS, so the canonical
+		// form keeps only the event's position.
 		return fmt.Sprintf("phases gen=%d round=%d", e.Gen, e.Round)
 	default:
 		return fmt.Sprintf("%s gen=%d round=%d args=%d,%d,%d,%d",

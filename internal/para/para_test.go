@@ -221,6 +221,34 @@ func TestPoolGrowsLazily(t *testing.T) {
 	}
 }
 
+// TestPoolPartialRunParksNonParticipants pins the partial-run contract: a
+// run requesting fewer parties than the pool holds wakes exactly parties-1
+// workers and never runs the body on — or cycles the sleep of — the
+// surplus workers. An 8-grown pool serving t2 runs must behave like a
+// 2-worker pool, not wake/park six bystanders per round trip.
+func TestPoolPartialRunParksNonParticipants(t *testing.T) {
+	p := NewPool()
+	defer p.Close()
+	p.Run(8, func(tid int) {}) // grow to 7 parked workers
+	if got := p.Wakes(); got != 7 {
+		t.Fatalf("wakes after 8-party run = %d, want 7", got)
+	}
+	for run := 0; run < 10; run++ {
+		var mask atomic.Int64
+		p.Run(2, func(tid int) { mask.Add(1 << tid) })
+		if mask.Load() != 3 {
+			t.Fatalf("run %d: 2-party run touched tids %b, want only 0 and 1",
+				run, mask.Load())
+		}
+	}
+	if got := p.Wakes(); got != 17 {
+		t.Fatalf("wakes after ten 2-party runs = %d, want 17 (7 + 10×1): surplus workers must stay parked", got)
+	}
+	if p.Workers() != 7 {
+		t.Fatalf("pool shrank to %d workers", p.Workers())
+	}
+}
+
 func TestPoolSteadyStateAllocs(t *testing.T) {
 	p := NewPool()
 	defer p.Close()

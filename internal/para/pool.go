@@ -24,6 +24,12 @@ type Pool struct {
 	wg     sync.WaitGroup
 	body   func(int)
 	closed bool
+	// wakes counts worker wakeups over the pool's lifetime. Run wakes
+	// exactly parties-1 workers — a run requesting fewer parties than the
+	// pool holds must leave the surplus workers parked on their channels,
+	// with no wake/sleep cycle (an 8-worker pool serving a t2 run wakes
+	// one worker, not seven). The counter makes that property testable.
+	wakes uint64
 }
 
 // NewPool returns an empty pool. Workers are spawned on first demand by
@@ -51,14 +57,23 @@ func (p *Pool) Run(parties int, body func(tid int)) {
 	p.ensure(parties - 1)
 	p.body = body
 	p.wg.Add(parties - 1)
+	// Wake ONLY the participating workers: tids >= parties stay parked on
+	// their channels. Each send is a direct handoff to a goroutine already
+	// blocked in receive, so waking k workers costs k channel operations
+	// and zero spurious wakeups for the rest of the pool.
 	for i := 0; i < parties-1; i++ {
 		p.starts[i] <- struct{}{}
 	}
+	p.wakes += uint64(parties - 1)
 	body(0)
 	p.wg.Wait()
 	// Drop the closure so the pool does not pin a finished run's state.
 	p.body = nil
 }
+
+// Wakes returns the total worker wakeups Run has performed. Read it only
+// between runs (it is written by Run on the caller's goroutine).
+func (p *Pool) Wakes() uint64 { return p.wakes }
 
 // ensure grows the worker set to at least k parked workers.
 func (p *Pool) ensure(k int) {

@@ -32,6 +32,11 @@ type Collector struct {
 	rounds  atomic.Uint64
 	// windowSum accumulates window sizes to report the mean window.
 	windowSum atomic.Uint64
+	// barriers counts barrier crossings of the deterministic round loop;
+	// phaseNS accumulates per-phase wall time (inspect, execute,
+	// coordinate). Both are written from serial coordination sections only.
+	barriers atomic.Uint64
+	phaseNS  [3]atomic.Int64
 	// roundTrace, if enabled, records (window, committed) per round.
 	traceEnabled bool
 	trace        []RoundSample
@@ -66,6 +71,10 @@ func (c *Collector) Reset(nthreads int) {
 	}
 	c.rounds.Store(0)
 	c.windowSum.Store(0)
+	c.barriers.Store(0)
+	for i := range c.phaseNS {
+		c.phaseNS[i].Store(0)
+	}
 	c.traceEnabled = false
 	c.trace = nil
 	c.start = time.Time{}
@@ -112,6 +121,20 @@ func (c *Collector) Round(window, committed int) {
 	}
 }
 
+// Barriers records n barrier crossings of the round loop. Called by the
+// scheduler coordinator between barriers; the count is a pure function of
+// the deterministic schedule, the thread count and the pipeline choice, so
+// it is reproducible run to run (unlike the phase durations).
+func (c *Collector) Barriers(n uint64) { c.barriers.Add(n) }
+
+// Phase records one round's phase wall times in nanoseconds (inspect,
+// execute, coordinate). Called by the scheduler coordinator.
+func (c *Collector) Phase(insNS, exeNS, coNS int64) {
+	c.phaseNS[0].Add(insNS)
+	c.phaseNS[1].Add(exeNS)
+	c.phaseNS[2].Add(coNS)
+}
+
 // Snapshot merges all per-thread counters into a Stats value.
 func (c *Collector) Snapshot() Stats {
 	var s Stats
@@ -125,6 +148,10 @@ func (c *Collector) Snapshot() Stats {
 	}
 	s.Rounds = c.rounds.Load()
 	s.WindowSum = c.windowSum.Load()
+	s.Barriers = c.barriers.Load()
+	s.PhaseInspectNS = c.phaseNS[0].Load()
+	s.PhaseExecuteNS = c.phaseNS[1].Load()
+	s.PhaseCoordinateNS = c.phaseNS[2].Load()
 	s.Elapsed = c.elapsed
 	s.Trace = c.trace
 	return s
@@ -147,6 +174,17 @@ type Stats struct {
 	Rounds uint64
 	// WindowSum is the sum of window sizes over all rounds.
 	WindowSum uint64
+	// Barriers is the number of barrier crossings the round loop performed —
+	// the coordination cost determinism pays. Deterministic for a given
+	// (input, thread count): the pipeline choice per round is a pure
+	// function of (window, threads, options).
+	Barriers uint64
+	// PhaseInspectNS/PhaseExecuteNS/PhaseCoordinateNS are total wall time
+	// spent in each DIG round phase, in nanoseconds. Observational (wall
+	// clock), so unlike every other counter they vary run to run.
+	PhaseInspectNS    int64
+	PhaseExecuteNS    int64
+	PhaseCoordinateNS int64
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
 	// Trace holds per-round samples if tracing was enabled.
@@ -189,18 +227,33 @@ func (s Stats) MeanWindow() float64 {
 	return float64(s.WindowSum) / float64(s.Rounds)
 }
 
+// BarriersPerRound returns the mean barrier crossings per deterministic
+// round — the headline coordination-overhead metric (2 is the semantic
+// floor for a parallel round: inspect→execute and execute→next-inspect
+// both require a rendezvous; batched sub-parallel rounds amortize below it).
+func (s Stats) BarriersPerRound() float64 {
+	if s.Rounds == 0 {
+		return 0
+	}
+	return float64(s.Barriers) / float64(s.Rounds)
+}
+
 // Add returns the element-wise sum of s and o (durations add; traces are
 // dropped). Useful for aggregating phases of one logical run.
 func (s Stats) Add(o Stats) Stats {
 	return Stats{
-		Commits:   s.Commits + o.Commits,
-		Aborts:    s.Aborts + o.Aborts,
-		Pushes:    s.Pushes + o.Pushes,
-		AtomicOps: s.AtomicOps + o.AtomicOps,
-		Inspects:  s.Inspects + o.Inspects,
-		Rounds:    s.Rounds + o.Rounds,
-		WindowSum: s.WindowSum + o.WindowSum,
-		Elapsed:   s.Elapsed + o.Elapsed,
+		Commits:           s.Commits + o.Commits,
+		Aborts:            s.Aborts + o.Aborts,
+		Pushes:            s.Pushes + o.Pushes,
+		AtomicOps:         s.AtomicOps + o.AtomicOps,
+		Inspects:          s.Inspects + o.Inspects,
+		Rounds:            s.Rounds + o.Rounds,
+		WindowSum:         s.WindowSum + o.WindowSum,
+		Barriers:          s.Barriers + o.Barriers,
+		PhaseInspectNS:    s.PhaseInspectNS + o.PhaseInspectNS,
+		PhaseExecuteNS:    s.PhaseExecuteNS + o.PhaseExecuteNS,
+		PhaseCoordinateNS: s.PhaseCoordinateNS + o.PhaseCoordinateNS,
+		Elapsed:           s.Elapsed + o.Elapsed,
 	}
 }
 
